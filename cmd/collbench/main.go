@@ -1,0 +1,91 @@
+// Command collbench is the NCCL-Tests-style sweep harness for Figs. 8
+// and 9: bandwidth and latency of collectives over buffer sizes,
+// comparing DFCCL against the NCCL baseline on the paper's testbeds.
+//
+// Usage:
+//
+//	collbench -fig 8a|8b|8c|9 [-iters 5]
+//	collbench -coll all-reduce -gpus 8 -min 512 -max 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfccl/internal/bench"
+	"dfccl/internal/prim"
+	"dfccl/internal/topo"
+)
+
+func main() {
+	fig := flag.String("fig", "", "preset: 8a (broadcast 8×3080Ti), 8b (all-reduce 8×3090), 8c (all-reduce 32 GPUs), 9 (all-gather case study)")
+	coll := flag.String("coll", "all-reduce", "collective for custom sweeps")
+	gpus := flag.Int("gpus", 8, "GPUs for custom sweeps (≤8: one server; >8: multi-node)")
+	minB := flag.Int("min", 512, "minimum buffer bytes")
+	maxB := flag.Int("max", 4<<20, "maximum buffer bytes")
+	iters := flag.Int("iters", 5, "measured iterations per size")
+	flag.Parse()
+
+	var cluster *topo.Cluster
+	kind := parseKind(*coll)
+	switch *fig {
+	case "8a":
+		cluster, kind = topo.Server3080Ti(8), prim.Broadcast
+	case "8b":
+		cluster, kind = topo.Server3090(8), prim.AllReduce
+	case "8c":
+		cluster, kind = topo.MultiNode3090(4), prim.AllReduce
+		*minB, *maxB = 2<<10, 16<<20
+	case "9":
+		small, large, err := bench.Fig9(*iters)
+		if err != nil {
+			fail(err)
+		}
+		for _, row := range []bench.Fig8Row{small, large} {
+			fmt.Printf("all-gather %s:\n  %v\n  %v\n", bench.HumanBytes(row.Bytes), row.NCCL, row.DFCCL)
+		}
+		return
+	case "":
+		if *gpus <= 8 {
+			cluster = topo.Server3090(*gpus)
+		} else {
+			cluster = topo.MultiNode3090((*gpus + 7) / 8)
+		}
+	default:
+		fail(fmt.Errorf("unknown -fig %q", *fig))
+	}
+
+	rows, err := bench.Fig8(cluster, kind, *minB, *maxB, *iters)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%8s  %14s %14s  %14s %14s\n", "size", "nccl-bw(GB/s)", "dfccl-bw(GB/s)", "nccl-lat", "dfccl-lat")
+	for _, r := range rows {
+		fmt.Printf("%8s  %14.3f %14.3f  %14v %14v\n",
+			bench.HumanBytes(r.Bytes), r.NCCL.AlgoBW, r.DFCCL.AlgoBW, r.NCCL.E2E, r.DFCCL.E2E)
+	}
+}
+
+func parseKind(s string) prim.Kind {
+	switch s {
+	case "all-reduce":
+		return prim.AllReduce
+	case "all-gather":
+		return prim.AllGather
+	case "reduce-scatter":
+		return prim.ReduceScatter
+	case "broadcast":
+		return prim.Broadcast
+	case "reduce":
+		return prim.Reduce
+	default:
+		fail(fmt.Errorf("unknown collective %q", s))
+		return 0
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "collbench:", err)
+	os.Exit(1)
+}

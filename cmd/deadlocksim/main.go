@@ -1,0 +1,41 @@
+// Command deadlocksim regenerates Table 1: deadlock ratios under the
+// single-queue and synchronization decision models across 3D and free
+// GPU grouping policies.
+//
+// Usage:
+//
+//	deadlocksim [-rounds 32000] [-big-rounds 200] [-filter substr]
+//
+// The paper uses 32,000 rounds per configuration; the 3072-GPU
+// (8,6,64) rows are expensive, so they default to a reduced round
+// count (-big-rounds). Ratios are printed next to the paper's values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dfccl/internal/bench"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 32000, "rounds per configuration")
+	bigRounds := flag.Int("big-rounds", 200, "rounds for the 3072-GPU configurations (0 = same as -rounds)")
+	filter := flag.String("filter", "", "only run configurations whose name contains this substring")
+	flag.Parse()
+
+	rows, err := bench.Table1(*rounds, *bigRounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deadlocksim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-44s %10s %10s\n", "configuration", "measured", "paper")
+	for _, r := range rows {
+		if *filter != "" && !strings.Contains(r.Name, *filter) {
+			continue
+		}
+		fmt.Printf("%-44s %9.2f%% %9.2f%%\n", r.Name, 100*r.Measured, 100*r.Paper)
+	}
+}

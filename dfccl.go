@@ -1,0 +1,136 @@
+// Package dfccl is a Go reproduction of DFCCL ("Comprehensive Deadlock
+// Prevention for GPU Collective Communication", EuroSys 2025): a GPU
+// collective communication library that prevents deadlocks by
+// preempting collectives inside an on-GPU daemon kernel, while keeping
+// NCCL-class performance through adaptive decentralized gang-scheduling.
+//
+// The hardware layer is a deterministic discrete-event simulation of a
+// GPU cluster (CUDA-like devices, SHM/RDMA fabric); see DESIGN.md for
+// the substitution argument. The public API mirrors the paper's
+// Listing 1:
+//
+//	lib := dfccl.New(dfccl.Server3090(8))
+//	lib.Go("rank0", func(p *dfccl.Process) {
+//	    ctx := lib.Init(p, 0)                                // dfcclInit
+//	    ctx.RegisterAllReduce(1, n, dfccl.Float32, dfccl.Sum,
+//	        []int{0, 1, ...}, 0)                             // dfcclRegisterAllReduce
+//	    ctx.RunAllReduce(p, 1, send, recv, func() { ... })   // dfcclRunAllReduce
+//	    ctx.Destroy(p)                                       // dfcclDestroy
+//	})
+//	lib.Run()
+//
+// Collectives are registered once and invoked repeatedly; invocation is
+// asynchronous and completion is delivered through callbacks. Ranks may
+// invoke collectives in any order — circular collective dependency that
+// would deadlock NCCL is resolved by preemption.
+package dfccl
+
+import (
+	"dfccl/internal/core"
+	"dfccl/internal/mem"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+	"dfccl/internal/trace"
+)
+
+// Re-exported simulation types. Host code runs as simulated processes
+// on a virtual clock.
+type (
+	// Process is a simulated host thread.
+	Process = sim.Process
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+	// Cluster describes the simulated GPU cluster.
+	Cluster = topo.Cluster
+	// Buffer is a typed device/host memory region.
+	Buffer = mem.Buffer
+	// DataType is a collective element type.
+	DataType = mem.DataType
+	// ReduceOp is a reduction operator.
+	ReduceOp = mem.ReduceOp
+	// Config carries DFCCL tunables (CQ variant, stickiness policy...).
+	Config = core.Config
+	// RankContext is the per-GPU context (dfcclInit's rankCtx).
+	RankContext = core.RankContext
+	// TraceRecorder records daemon scheduling events when assigned to
+	// Config.Tracer; it exports Chrome trace JSON (WriteChromeTrace).
+	TraceRecorder = trace.Recorder
+)
+
+// Re-exported constants.
+const (
+	Float32 = mem.Float32
+	Float64 = mem.Float64
+	Int32   = mem.Int32
+	Int64   = mem.Int64
+
+	Sum  = mem.Sum
+	Prod = mem.Prod
+	Max  = mem.Max
+	Min  = mem.Min
+
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+
+	// OrderFIFO / OrderPriority select the daemon's ordering policy.
+	OrderFIFO     = core.OrderFIFO
+	OrderPriority = core.OrderPriority
+)
+
+// Cluster constructors matching the paper's testbeds (Table 2).
+var (
+	// Server3090 builds a single 8-GPU-class RTX 3090 server.
+	Server3090 = topo.Server3090
+	// Server3080Ti builds a single RTX 3080Ti server.
+	Server3080Ti = topo.Server3080Ti
+	// MultiNode3090 builds m 8-GPU 3090 servers connected by RDMA.
+	MultiNode3090 = topo.MultiNode3090
+)
+
+// DefaultConfig returns the paper's evaluated configuration: optimized
+// CQ, adaptive stickiness, FIFO ordering.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewBuffer allocates a simulated device buffer of count elements.
+func NewBuffer(t DataType, count int) *Buffer {
+	return mem.NewBuffer(mem.DeviceSpace, t, count)
+}
+
+// Library is a DFCCL deployment over a simulated cluster plus the
+// simulation engine that drives it.
+type Library struct {
+	sys    *core.System
+	engine *sim.Engine
+}
+
+// New creates a library over the cluster with the default config.
+func New(c *Cluster) *Library { return NewWithConfig(c, DefaultConfig()) }
+
+// NewWithConfig creates a library with an explicit configuration.
+func NewWithConfig(c *Cluster, cfg Config) *Library {
+	e := sim.NewEngine()
+	return &Library{sys: core.NewSystem(e, c, cfg), engine: e}
+}
+
+// Go spawns a simulated host process (e.g. one per rank).
+func (l *Library) Go(name string, fn func(p *Process)) { l.engine.Spawn(name, fn) }
+
+// Init creates (or returns) the rank context for a GPU — dfcclInit.
+func (l *Library) Init(p *Process, rank int) *RankContext { return l.sys.Init(p, rank) }
+
+// Run drives the simulation until all host processes finish. It
+// returns sim.ErrDeadlock if the simulated system globally deadlocks —
+// which, with DFCCL collectives, it does not.
+func (l *Library) Run() error { return l.engine.Run() }
+
+// SetTimeLimit bounds the virtual run time (useful to convert a
+// would-be hang into an error in experiments).
+func (l *Library) SetTimeLimit(d Duration) { l.engine.MaxTime = sim.Time(d) }
+
+// Now returns the current virtual time in nanoseconds.
+func (l *Library) Now() Duration { return Duration(l.engine.Now()) }
+
+// System exposes the underlying deployment for benchmarks and tools
+// that need device handles or daemon statistics.
+func (l *Library) System() *core.System { return l.sys }

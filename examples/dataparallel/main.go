@@ -1,0 +1,76 @@
+// Data-parallel training loop: per-layer gradient all-reduces are
+// invoked asynchronously as the backward pass produces them, with
+// higher DFCCL priority for later-arriving (shallower) gradients so
+// communication overlaps computation — the paper's practical priority
+// scheme (Sec. 4.3). No CPU orchestration of launch order is needed.
+//
+//	go run ./examples/dataparallel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfccl"
+)
+
+const (
+	nGPUs      = 8
+	nLayers    = 24
+	gradElems  = 400_000 // ≈1.6MB per layer
+	iterations = 5
+	batch      = 64
+	// Per-layer backward compute per iteration.
+	bwdPerLayer = 2 * dfccl.Millisecond
+	fwdTotal    = 25 * dfccl.Millisecond
+)
+
+func main() {
+	cfg := dfccl.DefaultConfig()
+	cfg.Order = dfccl.OrderPriority
+	lib := dfccl.NewWithConfig(dfccl.Server3090(nGPUs), cfg)
+	ranks := make([]int, nGPUs)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	for rank := 0; rank < nGPUs; rank++ {
+		rank := rank
+		lib.Go(fmt.Sprintf("trainer%d", rank), func(p *dfccl.Process) {
+			ctx := lib.Init(p, rank)
+			send := make([]*dfccl.Buffer, nLayers)
+			recv := make([]*dfccl.Buffer, nLayers)
+			for l := 0; l < nLayers; l++ {
+				// Shallower layers (produced last in backward, needed
+				// first in the next forward) get higher priority.
+				priority := nLayers - l
+				if err := ctx.RegisterAllReduce(l, gradElems, dfccl.Float32, dfccl.Sum, ranks, priority); err != nil {
+					log.Fatalf("register layer %d: %v", l, err)
+				}
+				send[l] = dfccl.NewBuffer(dfccl.Float32, gradElems)
+				recv[l] = dfccl.NewBuffer(dfccl.Float32, gradElems)
+			}
+			for it := 0; it < iterations; it++ {
+				p.Sleep(fwdTotal) // forward pass
+				for l := nLayers - 1; l >= 0; l-- {
+					p.Sleep(bwdPerLayer) // backward of layer l
+					// Gradient ready: launch its all-reduce immediately;
+					// the daemon kernel overlaps it with remaining
+					// backward compute.
+					if err := ctx.Run(p, l, send[l], recv[l], nil); err != nil {
+						log.Fatalf("run layer %d: %v", l, err)
+					}
+				}
+				ctx.WaitAll(p)                 // all gradients reduced
+				p.Sleep(2 * dfccl.Millisecond) // optimizer step
+			}
+			ctx.Destroy(p)
+		})
+	}
+	if err := lib.Run(); err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+	elapsed := lib.Now()
+	samples := nGPUs * batch * iterations
+	fmt.Printf("trained %d iterations (%d samples) in %v of virtual time\n", iterations, samples, elapsed)
+	fmt.Printf("throughput: %.1f samples/s\n", float64(samples)/(float64(elapsed)/float64(dfccl.Second)))
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"dfccl/internal/core"
+	"dfccl/internal/orch"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+	"dfccl/internal/train"
+)
+
+// AblationResult pairs a configuration label with a measured value.
+type AblationResult struct {
+	Label string
+	Value float64
+	Unit  string
+}
+
+// AblationLazySave compares lazy context saving (only dirty contexts
+// are written back) against always-saving, under a preemption-heavy
+// disordered workload; it reports context saves and end-to-end time.
+func AblationLazySave() (lazy, always []AblationResult, err error) {
+	run := func(alwaysSave bool) ([]AblationResult, error) {
+		cfg := core.DefaultConfig()
+		cfg.AlwaysSaveContext = alwaysSave
+		res, err := sec61WithConfig(cfg, 5, 7)
+		if err != nil {
+			return nil, err
+		}
+		label := "lazy"
+		if alwaysSave {
+			label = "always"
+		}
+		return []AblationResult{
+			{label + "-context-saves", float64(res.ContextSaves), "saves"},
+			{label + "-elapsed", float64(res.Elapsed) / 1e6, "ms"},
+		}, nil
+	}
+	if lazy, err = run(false); err != nil {
+		return
+	}
+	always, err = run(true)
+	return
+}
+
+// AblationQuitPeriod sweeps the daemon's voluntary-quit period under
+// the device-synchronization workload: shorter periods unblock syncs
+// faster but restart the daemon more often.
+func AblationQuitPeriod(periods []sim.Duration) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, qp := range periods {
+		cfg := core.DefaultConfig()
+		cfg.QuitPeriod = qp
+		res, err := sec61SyncWithConfig(cfg, 3, 7)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			AblationResult{"quit=" + qp.String() + "-elapsed", float64(res.Elapsed) / 1e6, "ms"},
+			AblationResult{"quit=" + qp.String() + "-quits", float64(res.VoluntaryQuits), "quits"},
+		)
+	}
+	return out, nil
+}
+
+// AblationOrdering compares FIFO against priority ordering on the
+// data-parallel training workload with priorities favoring shallow
+// layers (the backward-overlap scheme of Sec. 4.3).
+func AblationOrdering(iterations int) (fifo, priority float64, err error) {
+	run := func(order core.OrderPolicy, usePriorities bool) (float64, error) {
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(3600 * sim.Second)
+		cluster := topo.Server3090(4)
+		cfg := core.DefaultConfig()
+		cfg.Order = order
+		b := orch.NewDFCCL(e, cluster, cfg)
+		res, err := train.RunDP(e, cluster, b, train.DPConfig{
+			Model: train.ResNet50(), BatchPerGPU: 48, Iterations: iterations,
+			Priority: usePriorities,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Throughput, nil
+	}
+	if fifo, err = run(core.OrderFIFO, false); err != nil {
+		return
+	}
+	priority, err = run(core.OrderPriority, true)
+	return
+}
+
+// sec61Ext augments Sec61Result with extra counters for ablations.
+type sec61Ext struct {
+	Sec61Result
+	ContextSaves int
+	Elapsed      sim.Duration
+}
+
+// sec61WithConfig runs the program-1 workload under an explicit DFCCL
+// configuration, returning extended counters.
+func sec61WithConfig(cfg core.Config, iterations int, seed int64) (sec61Ext, error) {
+	return sec61Configurable(cfg, iterations, seed, false)
+}
+
+// sec61SyncWithConfig is the program-2 (device sync) variant.
+func sec61SyncWithConfig(cfg core.Config, iterations int, seed int64) (sec61Ext, error) {
+	return sec61Configurable(cfg, iterations, seed, true)
+}
+
+func sec61Configurable(cfg core.Config, iterations int, seed int64, withSync bool) (sec61Ext, error) {
+	const nGPU, nColl = 8, 8
+	orders, sizes := sec61Workload(nGPU, nColl, seed)
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(3600 * sim.Second)
+	cluster := topo.Server3090(nGPU)
+	sys := core.NewSystem(e, cluster, cfg)
+	ranks := make([]int, nGPU)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	var ext sec61Ext
+	var firstErr error
+	for rank := 0; rank < nGPU; rank++ {
+		rank := rank
+		e.Spawn("abl", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			for c := 0; c < nColl; c++ {
+				if err := rc.Register(collSpec(sizes[c], ranks), c, 0); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+			}
+			send := zeroBuf()
+			recv := zeroBuf()
+			for it := 0; it < iterations; it++ {
+				for _, c := range orders[rank] {
+					if err := rc.Run(p, c, send, recv, nil); err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						return
+					}
+					if withSync {
+						rc.DeviceSynchronize(p)
+					}
+				}
+				rc.WaitAll(p)
+			}
+			ext.Completed += rc.Completed()
+			ext.Preemptions += rc.Stats.Preemptions
+			ext.VoluntaryQuits += rc.Stats.VoluntaryQuits
+			ext.ContextSaves += rc.Stats.ContextSaves
+			rc.Destroy(p)
+		})
+	}
+	err := e.Run()
+	if firstErr != nil {
+		return ext, firstErr
+	}
+	if err != nil {
+		ext.Deadlocked = true
+	}
+	ext.Elapsed = sim.Duration(e.Now())
+	return ext, nil
+}
+
+func sec61Workload(nGPU, nColl int, seed int64) ([][]int, []int) {
+	orders := make([][]int, nGPU)
+	rng := newSeededRNG(seed)
+	for i := range orders {
+		orders[i] = rng.Perm(nColl)
+	}
+	sizes := make([]int, nColl)
+	for i := range sizes {
+		sizes[i] = 64 << i
+	}
+	return orders, sizes
+}
+
+// AblationBatchedSQERead compares per-entry SQE reads against the
+// batched-read I/O optimization (the paper's stated future work) on a
+// latency-bound burst: two GPUs submit a deep backlog of tiny
+// collectives at once, so SQE-read time is a visible fraction of the
+// makespan. Reported values are total elapsed milliseconds.
+func AblationBatchedSQERead() (perEntry, batched float64, err error) {
+	run := func(batch bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.BatchedSQERead = batch
+		const nColl, burst = 16, 16
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(600 * sim.Second)
+		cluster := topo.Server3090(2)
+		sys := core.NewSystem(e, cluster, cfg)
+		ranks := []int{0, 1}
+		var firstErr error
+		for rank := 0; rank < 2; rank++ {
+			rank := rank
+			e.Spawn("burst", func(p *sim.Process) {
+				rc := sys.Init(p, rank)
+				for c := 0; c < nColl; c++ {
+					if err := rc.Register(collSpec(16, ranks), c, 0); err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+						return
+					}
+				}
+				for i := 0; i < burst; i++ {
+					for c := 0; c < nColl; c++ {
+						if err := rc.Run(p, c, zeroBuf(), zeroBuf(), nil); err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							return
+						}
+					}
+				}
+				rc.WaitAll(p)
+				rc.Destroy(p)
+			})
+		}
+		if err := e.Run(); err != nil {
+			return 0, err
+		}
+		if firstErr != nil {
+			return 0, firstErr
+		}
+		return float64(e.Now()) / 1e6, nil
+	}
+	if perEntry, err = run(false); err != nil {
+		return
+	}
+	batched, err = run(true)
+	return
+}

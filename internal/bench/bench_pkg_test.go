@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"testing"
+
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+func TestBarrier(t *testing.T) {
+	e := sim.NewEngine()
+	bar := NewBarrier(3)
+	var order []sim.Time
+	for i := 0; i < 3; i++ {
+		d := sim.Duration(i * 10)
+		e.Spawn("p", func(p *sim.Process) {
+			p.Sleep(d)
+			bar.Wait(p)
+			order = append(order, p.Now())
+			bar.Wait(p)
+			order = append(order, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Everyone leaves the first barrier at t=20 (slowest arrival).
+	for _, at := range order {
+		if at != 20 {
+			t.Fatalf("barrier exits = %v, want all at 20", order)
+		}
+	}
+}
+
+func TestMeasureBothLibsSmallAllReduce(t *testing.T) {
+	cfg := CollConfig{Cluster: topo.Server3090(4), Kind: prim.AllReduce, Bytes: 4 << 10, Iters: 3, Warmup: 1}
+	n, err := MeasureNCCL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MeasureDFCCL(cfg, coreDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.E2E <= 0 || d.E2E <= 0 {
+		t.Fatalf("non-positive latencies: nccl=%v dfccl=%v", n.E2E, d.E2E)
+	}
+	if n.AlgoBW <= 0 || d.AlgoBW <= 0 {
+		t.Fatal("non-positive bandwidth")
+	}
+	// Both libraries must be within an order of magnitude at 4KB.
+	if d.E2E > 10*n.E2E || n.E2E > 10*d.E2E {
+		t.Fatalf("latencies diverge: nccl=%v dfccl=%v", n.E2E, d.E2E)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	small, large, err := Fig9(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core shape of Fig. 9: at 4MB, DFCCL's core execution time is
+	// shorter than NCCL's (kernel startup amortized by the resident
+	// daemon kernel).
+	if large.DFCCL.CoreExec >= large.NCCL.CoreExec {
+		t.Errorf("4MB: dfccl core %v not below nccl core %v", large.DFCCL.CoreExec, large.NCCL.CoreExec)
+	}
+	if small.DFCCL.E2E <= 0 || small.NCCL.E2E <= 0 {
+		t.Fatal("bad small-buffer latencies")
+	}
+}
+
+func TestSec61Programs(t *testing.T) {
+	nccl, err := Sec61Program1("nccl", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nccl.Deadlocked {
+		t.Fatal("NCCL single-queue disorder did not deadlock")
+	}
+	dfccl, err := Sec61Program1("dfccl", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfccl.Deadlocked {
+		t.Fatal("DFCCL deadlocked in program 1")
+	}
+	if dfccl.Completed != 8*8*2 {
+		t.Fatalf("completed = %d, want 128", dfccl.Completed)
+	}
+	if dfccl.Preemptions == 0 {
+		t.Fatal("expected preemptions in program 1")
+	}
+	p2, err := Sec61Program2(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Deadlocked {
+		t.Fatal("DFCCL deadlocked in program 2")
+	}
+	if p2.VoluntaryQuits == 0 {
+		t.Fatal("expected voluntary quits with device synchronization")
+	}
+}
+
+func TestFig7Consistency(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CQEOptimized >= r.CQEOptimizedRing || r.CQEOptimizedRing >= r.CQEVanillaRing {
+		t.Fatalf("CQ cost ordering wrong: %v %v %v", r.CQEOptimized, r.CQEOptimizedRing, r.CQEVanillaRing)
+	}
+	if r.MeasuredE2E < r.ReadSQE+r.Preparing+r.WriteCQE {
+		t.Fatalf("measured e2e %v below component sum", r.MeasuredE2E)
+	}
+}
+
+func TestFig7CQSweepOrdering(t *testing.T) {
+	m, err := Fig7CQSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[2] < m[0] { // vanilla (2) should not be faster than optimized (0)
+		t.Fatalf("vanilla CQ e2e %v faster than optimized %v", m[2], m[0])
+	}
+}
+
+func TestSizeSweepAndHumanBytes(t *testing.T) {
+	s := SizeSweep(512, 4096)
+	want := []int{512, 1024, 2048, 4096}
+	if len(s) != len(want) {
+		t.Fatalf("sweep = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", s, want)
+		}
+	}
+	if HumanBytes(512) != "512B" || HumanBytes(4096) != "4K" || HumanBytes(4<<20) != "4M" {
+		t.Fatal("HumanBytes formatting wrong")
+	}
+}

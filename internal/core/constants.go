@@ -1,0 +1,101 @@
+// Package core implements DFCCL: a deadlock-free GPU collective
+// communication library. Its daemon kernel executes registered
+// collectives in a two-phase blocking manner, preempting any collective
+// whose primitive makes no progress within its spin threshold, so
+// circular collective dependency created by the application can no
+// longer deadlock the GPUs (Sec. 4 of the paper). An adaptive
+// stickiness-adjustment scheme (ordering policy + spin-threshold
+// policy) recovers NCCL-class performance by converging all GPUs onto
+// the same collective — decentralized dynamic gang-scheduling.
+package core
+
+import "dfccl/internal/sim"
+
+// Timing constants, calibrated to the paper's Fig. 7 microbenchmarks on
+// the 3090-server.
+const (
+	// SpinPollCost is the cost of one busy-wait poll iteration on a
+	// connector flag; spin thresholds are counted in polls.
+	SpinPollCost = 5 * sim.Nanosecond
+
+	// ReadSQETime is the daemon kernel's cost to read one SQE from
+	// page-locked host memory over PCIe (Fig. 7(b): 5.3µs).
+	ReadSQETime = 5300 * sim.Nanosecond
+
+	// ParseSQETime is the cost to parse an SQE and enqueue the task;
+	// together with LoadContextTime it forms the paper's 1.2µs
+	// "preparing overheads".
+	ParseSQETime = 750 * sim.Nanosecond
+
+	// LoadContextTime is the cost of loading a collective's context
+	// into the active slot (Sec. 6.2: ≈0.45µs).
+	LoadContextTime = 450 * sim.Nanosecond
+
+	// SaveContextTime is the cost of saving a preempted collective's
+	// dynamic context (Sec. 6.2: ≈0.05µs, thanks to 16-byte stores
+	// and lazy saving).
+	SaveContextTime = 50 * sim.Nanosecond
+
+	// BatchedSQEExtraTime is the marginal cost of each additional SQE
+	// in a batched read (BatchedSQERead): the PCIe transaction is paid
+	// once, later entries stream from the same cache line burst.
+	BatchedSQEExtraTime = 400 * sim.Nanosecond
+
+	// SQEWriteTime is the CPU-side cost of inserting an SQE.
+	SQEWriteTime = 500 * sim.Nanosecond
+
+	// PollerInterval is the CPU poller's CQ scan period.
+	PollerInterval = 1 * sim.Microsecond
+
+	// CallbackTime is the cost of running a completion callback.
+	CallbackTime = 300 * sim.Nanosecond
+
+	// DaemonStartup is the one-time in-kernel setup cost when the
+	// daemon kernel (re)starts. Because the daemon stays resident
+	// across collectives, this cost amortizes — the "fusion" that
+	// shortens DFCCL's core execution time (Sec. 6.3).
+	DaemonStartup = 20 * sim.Microsecond
+
+	// IdlePollTime is the daemon's pause between scheduler passes when
+	// nothing progressed.
+	IdlePollTime = 2 * sim.Microsecond
+)
+
+// Memory-accounting constants (Sec. 6.2).
+const (
+	// ContextBytes is the per-collective context record in the
+	// collective context buffer (dynamic + static context, 16-byte
+	// aligned structs).
+	ContextBytes = 4096
+
+	// TaskQueueEntryBytes is the shared-memory footprint of one task
+	// queue entry.
+	TaskQueueEntryBytes = 96
+
+	// DefaultTaskQueueCap is the task queue capacity per block.
+	DefaultTaskQueueCap = 128
+
+	// ActiveContextSlots is the number of shared-memory active context
+	// slots, managed as a direct-mapped cache (Sec. 5).
+	ActiveContextSlots = 2
+
+	// ActiveSlotBytes is the shared-memory size of one active slot
+	// (dynamic context staged for execution).
+	ActiveSlotBytes = 384
+
+	// CompletionCounterBytes is the per-collective completion counter
+	// plus bookkeeping in global memory shared by all blocks.
+	CompletionCounterBytes = 8
+)
+
+// MemoryFootprint reports the workload-independent memory overheads for
+// maintaining numColls registered collectives, mirroring the paper's
+// Sec. 6.2 accounting: shared memory per block, global memory per
+// block (the collective context buffer), and global memory shared by
+// all blocks (completion counters and related structures).
+func MemoryFootprint(numColls int) (sharedPerBlock, globalPerBlock, globalShared int) {
+	sharedPerBlock = DefaultTaskQueueCap*TaskQueueEntryBytes + ActiveContextSlots*ActiveSlotBytes
+	globalPerBlock = numColls * ContextBytes
+	globalShared = numColls*CompletionCounterBytes + 3<<10
+	return
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// TestResumeAcrossVoluntaryQuit drives a collective that must stall
+// (its peer arrives only much later), survive daemon quits and
+// restarts, and still produce correct data — the context-integrity
+// argument of Sec. 4.5.
+func TestResumeAcrossVoluntaryQuit(t *testing.T) {
+	const count = 4096
+	sys := newSys(2, DefaultConfig())
+	sys.Engine.MaxTime = sim.Time(60 * sim.Second)
+	var result *mem.Buffer
+	var quits int
+	sys.Engine.Spawn("rank0", func(p *sim.Process) {
+		r := sys.Init(p, 0)
+		if err := r.RegisterAllReduce(1, count, mem.Float64, mem.Sum, []int{0, 1}, 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+		s.Fill(3)
+		result = d
+		if err := r.Run(p, 1, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		r.WaitAll(p)
+		quits = r.Stats.VoluntaryQuits
+		r.Destroy(p)
+	})
+	sys.Engine.Spawn("rank1-late", func(p *sim.Process) {
+		r := sys.Init(p, 1)
+		if err := r.RegisterAllReduce(1, count, mem.Float64, mem.Sum, []int{0, 1}, 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		// Arrive long after rank 0's daemon has given up and quit
+		// (several quit periods).
+		p.Sleep(5 * sim.Millisecond)
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+		s.Fill(4)
+		if err := r.Run(p, 1, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		r.WaitAll(p)
+		r.Destroy(p)
+	})
+	if err := sys.Engine.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if quits == 0 {
+		t.Fatal("rank 0's daemon never quit while waiting 5ms for its peer")
+	}
+	if got := result.Float64At(count - 1); got != 7 {
+		t.Fatalf("result = %v, want 7", got)
+	}
+}
+
+// TestManyCollectivesSmallCQ forces CQ back-pressure: a 4-slot CQ with
+// a burst of completions must still deliver every callback.
+func TestManyCollectivesSmallCQ(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CQSlots = 4
+	sys := newSys(2, cfg)
+	const burst = 24
+	runApp(t, sys, 2, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, 64, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		for i := 0; i < burst; i++ {
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+			if err := r.Run(p, 1, s, d, nil); err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+		}
+	})
+	for rank := 0; rank < 2; rank++ {
+		if got := sys.ranks[rank].Completed(); got != burst {
+			t.Fatalf("rank %d completed %d, want %d", rank, got, burst)
+		}
+	}
+}
+
+// TestRegistrationBeyondContextBuffer enforces the MaxCollectives cap
+// that models the collective context buffer.
+func TestRegistrationBeyondContextBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCollectives = 3
+	sys := newSys(2, cfg)
+	runApp(t, sys, 2, func(p *sim.Process, r *RankContext) {
+		var lastErr error
+		for c := 0; c < 5; c++ {
+			lastErr = r.RegisterAllReduce(c, 32, mem.Float32, mem.Sum, allRanks(2), 0)
+		}
+		if lastErr == nil {
+			t.Error("registration beyond MaxCollectives accepted")
+		}
+		// The registered ones still work.
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 32)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 32)
+		if err := r.Run(p, 0, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+}
+
+// TestTimingOnlyMatchesDataPathSchedule checks that a timing-only
+// collective completes in exactly the same virtual time as the same
+// collective with real data (the performance model is data-independent).
+func TestTimingOnlyMatchesDataPathSchedule(t *testing.T) {
+	run := func(timingOnly bool) sim.Time {
+		sys := newSys(4, DefaultConfig())
+		const count = 8192
+		runApp(t, sys, 4, func(p *sim.Process, r *RankContext) {
+			spec := prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float32, Op: mem.Sum,
+				Ranks: allRanks(4), TimingOnly: timingOnly}
+			if err := r.Register(spec, 1, 0); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+			n := count
+			if timingOnly {
+				n = 0
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, n)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, n)
+			if err := r.Run(p, 1, s, d, nil); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		})
+		return sys.Engine.Now()
+	}
+	real, modeled := run(false), run(true)
+	if real != modeled {
+		t.Fatalf("timing-only schedule %v differs from data path %v", modeled, real)
+	}
+}
+
+// TestDaemonGridUsesLargestRegistered verifies the daemon kernel is
+// launched with the largest grid among registered collectives.
+func TestDaemonGridUsesLargestRegistered(t *testing.T) {
+	sys := newSys(2, DefaultConfig())
+	runApp(t, sys, 2, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, 64, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		if err := r.Run(p, 1, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		r.WaitAll(p)
+		if r.daemonInst == nil || r.daemonInst.Kernel().Grid != r.tasks[1].group.Grid {
+			t.Errorf("daemon grid = %v, want group grid %d", r.daemonInst.Kernel().Grid, r.tasks[1].group.Grid)
+		}
+	})
+}
+
+// TestDeterministicEndToEnd runs the same disordered workload twice
+// and requires identical completion times and statistics.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() (sim.Time, RankStats) {
+		sys := newSys(4, DefaultConfig())
+		runApp(t, sys, 4, func(p *sim.Process, r *RankContext) {
+			for c := 0; c < 4; c++ {
+				if err := r.RegisterAllReduce(c, 256<<c, mem.Float32, mem.Sum, allRanks(4), 0); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+			}
+			for i := 0; i < 3; i++ {
+				for c := 0; c < 4; c++ {
+					id := (c + r.Rank + i) % 4 // rank-dependent order
+					s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 256<<id)
+					d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 256<<id)
+					if err := r.Run(p, id, s, d, nil); err != nil {
+						t.Errorf("run: %v", err)
+						return
+					}
+				}
+				r.WaitAll(p)
+			}
+		})
+		return sys.Engine.Now(), sys.ranks[0].Stats
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("end times differ: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestFIFOFetchBackoff verifies the FIFO ordering policy does not
+// fetch new SQEs while the current task progresses, but does after the
+// backoff when everything is stuck.
+func TestFIFOFetchBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	sys := newSys(2, cfg)
+	runApp(t, sys, 2, func(p *sim.Process, r *RankContext) {
+		for c := 0; c < 3; c++ {
+			if err := r.RegisterAllReduce(c, 1024, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+		}
+		// Rank 1 delays so rank 0's first collective is stuck,
+		// forcing backoff-driven fetches of the rest.
+		if r.Rank == 1 {
+			p.Sleep(200 * sim.Microsecond)
+		}
+		for c := 0; c < 3; c++ {
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 1024)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 1024)
+			if err := r.Run(p, c, s, d, nil); err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+		}
+	})
+	for rank := 0; rank < 2; rank++ {
+		if got := sys.ranks[rank].Completed(); got != 3 {
+			t.Fatalf("rank %d completed %d, want 3", rank, got)
+		}
+	}
+}
+
+// TestDestroyIdempotent checks repeated Destroy calls are safe.
+func TestDestroyIdempotent(t *testing.T) {
+	sys := newSys(2, DefaultConfig())
+	sys.Engine.MaxTime = sim.Time(10 * sim.Second)
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		sys.Engine.Spawn("app", func(p *sim.Process) {
+			r := sys.Init(p, rank)
+			r.Destroy(p)
+			r.Destroy(p)
+			if err := r.RegisterAllReduce(1, 8, mem.Float32, mem.Sum, allRanks(2), 0); err == nil {
+				t.Error("register after destroy accepted")
+			}
+		})
+	}
+	if err := sys.Engine.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+var _ = topo.RTX3090 // keep topo linked for helpers above

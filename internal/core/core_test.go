@@ -1,0 +1,668 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// runApp spawns one host process per rank running fn and drives the
+// simulation to completion; every rank's context is destroyed at the
+// end of fn so the engine quiesces.
+func runApp(t *testing.T, sys *System, nRanks int, fn func(p *sim.Process, r *RankContext)) {
+	t.Helper()
+	sys.Engine.MaxTime = sim.Time(60 * sim.Second)
+	for rank := 0; rank < nRanks; rank++ {
+		rank := rank
+		sys.Engine.Spawn("app", func(p *sim.Process) {
+			r := sys.Init(p, rank)
+			fn(p, r)
+			r.WaitAll(p)
+			r.Destroy(p)
+		})
+	}
+	if err := sys.Engine.Run(); err != nil {
+		t.Fatalf("Run: %v (blocked: %v)", err, sys.Engine.BlockedProcesses())
+	}
+}
+
+func newSys(nGPUs int, cfg Config) *System {
+	return NewSystem(sim.NewEngine(), topo.Server3090(nGPUs), cfg)
+}
+
+func allRanks(n int) []int {
+	rs := make([]int, n)
+	for i := range rs {
+		rs[i] = i
+	}
+	return rs
+}
+
+func TestSingleAllReduceCompletes(t *testing.T) {
+	const n, count = 8, 1024
+	sys := newSys(n, DefaultConfig())
+	results := make([]*mem.Buffer, n)
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, count, mem.Float64, mem.Sum, allRanks(n), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+		s.Fill(float64(r.Rank + 1))
+		results[r.Rank] = d
+		var completed bool
+		if err := r.Run(p, 1, s, d, func() { completed = true }); err != nil {
+			t.Errorf("run: %v", err)
+			return
+		}
+		r.WaitAll(p)
+		if !completed {
+			t.Errorf("rank %d: callback not invoked", r.Rank)
+		}
+	})
+	want := float64(n*(n+1)) / 2
+	for rank, d := range results {
+		if got := d.Float64At(count - 1); got != want {
+			t.Fatalf("rank %d result = %v, want %v", rank, got, want)
+		}
+	}
+}
+
+func TestAllCollectiveKindsThroughDFCCL(t *testing.T) {
+	const n = 4
+	sys := newSys(n, DefaultConfig())
+	ag := make([]*mem.Buffer, n)
+	rs := make([]*mem.Buffer, n)
+	bc := make([]*mem.Buffer, n)
+	rd := make([]*mem.Buffer, n)
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		devs := allRanks(n)
+		check := func(err error) {
+			if err != nil {
+				t.Errorf("rank %d: %v", r.Rank, err)
+			}
+		}
+		check(r.RegisterAllGather(10, 16, mem.Float64, devs, 0))
+		check(r.RegisterReduceScatter(11, 16*n, mem.Float64, mem.Sum, devs, 0))
+		check(r.RegisterBroadcast(12, 64, mem.Float64, 2, devs, 0))
+		check(r.RegisterReduce(13, 64, mem.Float64, mem.Sum, 1, devs, 0))
+
+		agS := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 16)
+		agS.Fill(float64(r.Rank))
+		ag[r.Rank] = mem.NewBuffer(mem.DeviceSpace, mem.Float64, 16*n)
+		check(r.Run(p, 10, agS, ag[r.Rank], nil))
+
+		rsS := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 16*n)
+		rsS.Fill(2)
+		rs[r.Rank] = mem.NewBuffer(mem.DeviceSpace, mem.Float64, 16)
+		check(r.Run(p, 11, rsS, rs[r.Rank], nil))
+
+		bcS := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+		bcS.Fill(float64(100 + r.Rank))
+		bc[r.Rank] = mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+		check(r.Run(p, 12, bcS, bc[r.Rank], nil))
+
+		rdS := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+		rdS.Fill(3)
+		rd[r.Rank] = mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+		check(r.Run(p, 13, rdS, rd[r.Rank], nil))
+	})
+	for rank := 0; rank < n; rank++ {
+		for seg := 0; seg < n; seg++ {
+			if got := ag[rank].Float64At(seg*16 + 3); got != float64(seg) {
+				t.Fatalf("all-gather rank %d seg %d = %v, want %v", rank, seg, got, float64(seg))
+			}
+		}
+		if got := rs[rank].Float64At(0); got != float64(2*n) {
+			t.Fatalf("reduce-scatter rank %d = %v, want %v", rank, got, float64(2*n))
+		}
+		if got := bc[rank].Float64At(63); got != 102 {
+			t.Fatalf("broadcast rank %d = %v, want 102", rank, got)
+		}
+	}
+	if got := rd[1].Float64At(0); got != float64(3*n) {
+		t.Fatalf("reduce root = %v, want %v", got, float64(3*n))
+	}
+}
+
+// TestDisorderedInvocationNoDeadlock is the paper's first Sec. 6.1
+// testing program: eight GPUs invoke the same eight all-reduces, each
+// GPU in a unique random order, on what would be a single queue. NCCL
+// deadlocks (see ncclsim tests); DFCCL must complete every iteration.
+func TestDisorderedInvocationNoDeadlock(t *testing.T) {
+	const n, nColl, iters = 8, 8, 5
+	sys := newSys(n, DefaultConfig())
+	rng := rand.New(rand.NewSource(42))
+	orders := make([][]int, n)
+	for i := range orders {
+		orders[i] = rng.Perm(nColl)
+	}
+	var totalPreempts int
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		for c := 0; c < nColl; c++ {
+			count := 64 << c // 256B .. 32KB float32
+			if err := r.RegisterAllReduce(c, count, mem.Float32, mem.Sum, allRanks(n), 0); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+		}
+		for it := 0; it < iters; it++ {
+			for _, c := range orders[r.Rank] {
+				count := 64 << c
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, count)
+				d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, count)
+				s.Fill(1)
+				if err := r.Run(p, c, s, d, nil); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+			r.WaitAll(p)
+		}
+		totalPreempts += r.Stats.Preemptions
+	})
+	for rank := 0; rank < n; rank++ {
+		if got := sys.ranks[rank].Completed(); got != nColl*iters {
+			t.Fatalf("rank %d completed %d, want %d", rank, got, nColl*iters)
+		}
+	}
+	if totalPreempts == 0 {
+		t.Fatal("disordered invocation exercised no preemption")
+	}
+}
+
+// TestDeviceSyncBetweenCollectivesNoDeadlock is the second Sec. 6.1
+// program: cudaDeviceSynchronize between disordered all-reduces. The
+// daemon kernel must voluntarily quit so the syncs can complete.
+func TestDeviceSyncBetweenCollectivesNoDeadlock(t *testing.T) {
+	const n = 2
+	sys := newSys(n, DefaultConfig())
+	var quits int
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		for c := 0; c < 2; c++ {
+			if err := r.RegisterAllReduce(c, 512, mem.Float32, mem.Sum, allRanks(n), 0); err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+		}
+		// GPU 0: A, sync, B.  GPU 1: B, sync, A — Fig. 1(d).
+		order := []int{0, 1}
+		if r.Rank == 1 {
+			order = []int{1, 0}
+		}
+		mk := func() (*mem.Buffer, *mem.Buffer) {
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 512)
+			s.Fill(1)
+			return s, mem.NewBuffer(mem.DeviceSpace, mem.Float32, 512)
+		}
+		s1, d1 := mk()
+		if err := r.Run(p, order[0], s1, d1, nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		r.dev.Synchronize(p)
+		s2, d2 := mk()
+		if err := r.Run(p, order[1], s2, d2, nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		r.WaitAll(p)
+		quits += r.Stats.VoluntaryQuits
+	})
+	if quits == 0 {
+		t.Fatal("no voluntary quits despite device synchronization deadlock pattern")
+	}
+	for rank := 0; rank < n; rank++ {
+		if got := sys.ranks[rank].Completed(); got != 2 {
+			t.Fatalf("rank %d completed %d, want 2", rank, got)
+		}
+	}
+}
+
+func TestRepeatedRunsOfRegisteredCollective(t *testing.T) {
+	const n, iters = 4, 20
+	sys := newSys(n, DefaultConfig())
+	sums := make([]float64, n)
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(7, 128, mem.Float64, mem.Sum, allRanks(n), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		for it := 0; it < iters; it++ {
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 128)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 128)
+			s.Fill(float64(it))
+			if err := r.Run(p, 7, s, d, nil); err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+			r.WaitAll(p)
+			sums[r.Rank] += d.Float64At(0)
+		}
+	})
+	// Each iteration's result is it*n; sum over iters = n*iters*(iters-1)/2.
+	want := float64(n * iters * (iters - 1) / 2)
+	for rank, got := range sums {
+		if got != want {
+			t.Fatalf("rank %d accumulated %v, want %v", rank, got, want)
+		}
+	}
+}
+
+func TestPipelinedRunsWithoutWait(t *testing.T) {
+	// Multiple outstanding runs of the same collective must pipeline
+	// through the connectors and complete in order.
+	const n, burst = 2, 8
+	sys := newSys(n, DefaultConfig())
+	order := make([][]int, n)
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(3, 64, mem.Float64, mem.Sum, allRanks(n), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		for i := 0; i < burst; i++ {
+			i := i
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+			s.Fill(float64(i))
+			rank := r.Rank
+			if err := r.Run(p, 3, s, d, func() { order[rank] = append(order[rank], i) }); err != nil {
+				t.Errorf("run: %v", err)
+				return
+			}
+		}
+	})
+	for rank := 0; rank < n; rank++ {
+		if len(order[rank]) != burst {
+			t.Fatalf("rank %d completed %d runs, want %d", rank, len(order[rank]), burst)
+		}
+		for i, got := range order[rank] {
+			if got != i {
+				t.Fatalf("rank %d completion order %v not FIFO", rank, order[rank])
+			}
+		}
+	}
+}
+
+func TestCQVariantsAllDeliver(t *testing.T) {
+	for _, v := range []CQVariant{CQVanillaRing, CQOptimizedRing, CQOptimized} {
+		cfg := DefaultConfig()
+		cfg.CQVariant = v
+		sys := newSys(2, cfg)
+		runApp(t, sys, 2, func(p *sim.Process, r *RankContext) {
+			if err := r.RegisterAllReduce(1, 32, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+				t.Errorf("%v register: %v", v, err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 32)
+				d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 32)
+				if err := r.Run(p, 1, s, d, nil); err != nil {
+					t.Errorf("%v run: %v", v, err)
+					return
+				}
+			}
+		})
+		if got := sys.ranks[0].Completed(); got != 5 {
+			t.Fatalf("%v: completed %d, want 5", v, got)
+		}
+	}
+}
+
+func TestCQUnits(t *testing.T) {
+	for _, v := range []CQVariant{CQVanillaRing, CQOptimizedRing, CQOptimized} {
+		q := NewCQ(v, 4)
+		for i := 0; i < 4; i++ {
+			if !q.Push(i) {
+				t.Fatalf("%v: push %d failed", v, i)
+			}
+		}
+		if q.Push(99) {
+			t.Fatalf("%v: push into full CQ succeeded", v)
+		}
+		got := q.Drain()
+		if len(got) != 4 {
+			t.Fatalf("%v: drained %d, want 4", v, len(got))
+		}
+		seen := map[int]bool{}
+		for _, id := range got {
+			seen[id] = true
+		}
+		for i := 0; i < 4; i++ {
+			if !seen[i] {
+				t.Fatalf("%v: missing CQE %d in %v", v, i, got)
+			}
+		}
+		// Ring variants preserve FIFO order.
+		if v != CQOptimized {
+			for i, id := range got {
+				if id != i {
+					t.Fatalf("%v: order %v not FIFO", v, got)
+				}
+			}
+		}
+		if !q.Push(7) {
+			t.Fatalf("%v: push after drain failed", v)
+		}
+		if out := q.Drain(); len(out) != 1 || out[0] != 7 {
+			t.Fatalf("%v: reuse drain = %v", v, out)
+		}
+	}
+}
+
+func TestCQWriteCostsMatchPaper(t *testing.T) {
+	costs := map[CQVariant]sim.Duration{
+		CQVanillaRing:   6900,
+		CQOptimizedRing: 4800,
+		CQOptimized:     2000,
+	}
+	for v, want := range costs {
+		if got := NewCQ(v, 8).WriteCost(); got != want {
+			t.Errorf("%v write cost = %v, want %vns", v, got, want)
+		}
+	}
+}
+
+func TestSQBackpressure(t *testing.T) {
+	e := sim.NewEngine()
+	q := NewSQ("sq", 2)
+	var pushedAt sim.Time
+	e.Spawn("producer", func(p *sim.Process) {
+		q.Push(p, SQE{CollID: 1})
+		q.Push(p, SQE{CollID: 2})
+		q.Push(p, SQE{CollID: 3}) // blocks until consumer pops
+		pushedAt = p.Now()
+	})
+	e.Spawn("consumer", func(p *sim.Process) {
+		p.Sleep(100 * sim.Microsecond)
+		if _, ok := q.TryPop(p.Engine()); !ok {
+			t.Error("expected SQE")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if pushedAt < sim.Time(100*sim.Microsecond) {
+		t.Fatalf("third push completed at %v, before consumer drained", pushedAt)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	sys := newSys(2, DefaultConfig())
+	runApp(t, sys, 2, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, 64, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+			t.Errorf("register: %v", err)
+		}
+		// Duplicate registration on the same rank must fail.
+		if err := r.RegisterAllReduce(1, 64, mem.Float32, mem.Sum, allRanks(2), 0); err == nil {
+			t.Error("duplicate registration accepted")
+		}
+		// Unregistered collective cannot run.
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		if err := r.Run(p, 99, s, d, nil); err == nil {
+			t.Error("run of unregistered collective accepted")
+		}
+		// Wrong buffer sizes must fail.
+		bad := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 32)
+		if err := r.Run(p, 1, bad, d, nil); err == nil {
+			t.Error("run with undersized send buffer accepted")
+		}
+		// Mismatched re-registration from another collective ID is fine,
+		// but conflicting spec under the same ID must fail system-wide.
+		if r.Rank == 0 {
+			if err := r.RegisterAllReduce(2, 128, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+				t.Errorf("register 2: %v", err)
+			}
+		} else {
+			if err := r.RegisterAllReduce(2, 999, mem.Float32, mem.Sum, allRanks(2), 0); err == nil {
+				t.Error("conflicting spec for same collective ID accepted")
+			}
+			if err := r.RegisterAllReduce(2, 128, mem.Float32, mem.Sum, allRanks(2), 0); err != nil {
+				t.Errorf("register 2 (consistent): %v", err)
+			}
+		}
+		// Both ranks must run collective 2 so neither hangs.
+		s2 := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 128)
+		d2 := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 128)
+		if err := r.Run(p, 2, s2, d2, nil); err != nil {
+			t.Errorf("run 2: %v", err)
+		}
+		// Collective 1 as well.
+		if err := r.Run(p, 1, s, d, nil); err != nil {
+			t.Errorf("run 1: %v", err)
+		}
+	})
+}
+
+func TestDynamicRegistrationDuringRuntime(t *testing.T) {
+	const n = 2
+	sys := newSys(n, DefaultConfig())
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, 64, mem.Float32, mem.Sum, allRanks(n), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		if err := r.Run(p, 1, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		r.WaitAll(p)
+		// Register a new collective after the daemon has been running.
+		if err := r.RegisterAllGather(2, 16, mem.Float32, allRanks(n), 0); err != nil {
+			t.Errorf("dynamic register: %v", err)
+			return
+		}
+		s2 := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 16)
+		d2 := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 16*n)
+		if err := r.Run(p, 2, s2, d2, nil); err != nil {
+			t.Errorf("run dynamic: %v", err)
+		}
+	})
+	if got := sys.ranks[0].Completed(); got != 2 {
+		t.Fatalf("completed %d, want 2", got)
+	}
+}
+
+func TestDaemonQuitsWhenIdle(t *testing.T) {
+	const n = 2
+	sys := newSys(n, DefaultConfig())
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, 64, mem.Float32, mem.Sum, allRanks(n), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+		if err := r.Run(p, 1, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		r.WaitAll(p)
+		// Wait well past the quit period: the idle daemon must release
+		// the GPU (a device synchronize completes only if it does).
+		p.Sleep(5 * sys.Config.QuitPeriod)
+		r.dev.Synchronize(p)
+		if r.Stats.VoluntaryQuits == 0 {
+			t.Errorf("rank %d daemon never quit while idle", r.Rank)
+		}
+	})
+}
+
+func TestMemoryFootprintMatchesPaper(t *testing.T) {
+	shared, global, globalShared := MemoryFootprint(1000)
+	if shared < 12<<10 || shared > 14<<10 {
+		t.Errorf("shared per block = %d, want ≈13KB", shared)
+	}
+	if global != 4096000 {
+		t.Errorf("global per block = %d, want 4MB for 1000 collectives", global)
+	}
+	if globalShared < 10<<10 || globalShared > 12<<10 {
+		t.Errorf("global shared = %d, want ≈11KB", globalShared)
+	}
+}
+
+func TestSpinPolicyGradientAndBoost(t *testing.T) {
+	sp := DefaultSpinPolicy()
+	if sp.initialThreshold(0) != sp.InitialFront {
+		t.Fatal("front task should get the largest initial threshold")
+	}
+	if sp.initialThreshold(1) >= sp.initialThreshold(0) {
+		t.Fatal("initial threshold should decay with position")
+	}
+	if sp.initialThreshold(100) != sp.MinInitial {
+		t.Fatal("deep positions should floor at MinInitial")
+	}
+	if got := sp.boost(1000); got != 20000 {
+		t.Fatalf("boost(1000) = %d, want 20000", got)
+	}
+	if got := sp.boost(sp.MaxThreshold); got != sp.MaxThreshold {
+		t.Fatal("boost should cap at MaxThreshold")
+	}
+	naive := NaiveSpinPolicy()
+	if naive.initialThreshold(0) != naive.FixedThreshold || naive.initialThreshold(9) != naive.FixedThreshold {
+		t.Fatal("naive policy should be position-independent")
+	}
+	if naive.boost(naive.FixedThreshold) != naive.FixedThreshold {
+		t.Fatal("naive policy should not boost")
+	}
+}
+
+func TestCommunicatorPoolReuse(t *testing.T) {
+	pool := newCommPool(topo.Server3090(4))
+	a := pool.acquire([]int{0, 1, 2}, "a")
+	pool.release(a)
+	b := pool.acquire([]int{2, 1, 0}, "b") // same set, different order
+	if a != b {
+		t.Fatal("pool did not reuse released communicator for same rank set")
+	}
+	c := pool.acquire([]int{0, 1}, "c")
+	if c == a {
+		t.Fatal("pool reused communicator across different rank sets")
+	}
+	if pool.Created() != 2 {
+		t.Fatalf("created = %d, want 2", pool.Created())
+	}
+}
+
+func TestPriorityOrderingPrefersHighPriority(t *testing.T) {
+	// Two collectives are submitted back-to-back; under the priority
+	// policy the higher-priority one (registered with priority 10)
+	// should complete first on every rank even though it is submitted
+	// second.
+	const n = 2
+	cfg := DefaultConfig()
+	cfg.Order = OrderPriority
+	sys := newSys(n, cfg)
+	firstDone := make([]int, n)
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		if err := r.RegisterAllReduce(1, 4096, mem.Float32, mem.Sum, allRanks(n), 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		if err := r.RegisterAllReduce(2, 4096, mem.Float32, mem.Sum, allRanks(n), 10); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		rank := r.Rank
+		mk := func() (*mem.Buffer, *mem.Buffer) {
+			return mem.NewBuffer(mem.DeviceSpace, mem.Float32, 4096), mem.NewBuffer(mem.DeviceSpace, mem.Float32, 4096)
+		}
+		s1, d1 := mk()
+		s2, d2 := mk()
+		record := func(id int) Callback {
+			return func() {
+				if firstDone[rank] == 0 {
+					firstDone[rank] = id
+				}
+			}
+		}
+		if err := r.Run(p, 1, s1, d1, record(1)); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		if err := r.Run(p, 2, s2, d2, record(2)); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	for rank := 0; rank < n; rank++ {
+		if firstDone[rank] != 2 {
+			t.Fatalf("rank %d: first completion = coll %d, want high-priority coll 2", rank, firstDone[rank])
+		}
+	}
+}
+
+func TestDisjointGroupsProgressIndependently(t *testing.T) {
+	// Two disjoint GPU pairs each run their own collective; neither
+	// should wait on the other.
+	const n = 4
+	sys := newSys(n, DefaultConfig())
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		group := []int{0, 1}
+		collID := 1
+		if r.Rank >= 2 {
+			group = []int{2, 3}
+			collID = 2
+		}
+		if err := r.RegisterAllReduce(collID, 256, mem.Float32, mem.Sum, group, 0); err != nil {
+			t.Errorf("register: %v", err)
+			return
+		}
+		s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 256)
+		d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 256)
+		if err := r.Run(p, collID, s, d, nil); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	for rank := 0; rank < n; rank++ {
+		if got := sys.ranks[rank].Completed(); got != 1 {
+			t.Fatalf("rank %d completed %d, want 1", rank, got)
+		}
+	}
+}
+
+func TestOverlappingGroupsFreeGroupingStyle(t *testing.T) {
+	// A GPU belonging to several groups (the free-grouping scenario
+	// that motivates DFCCL) runs collectives from all of them, invoked
+	// in different orders per GPU.
+	const n = 4
+	sys := newSys(n, DefaultConfig())
+	groups := map[int][]int{
+		1: {0, 1, 2},
+		2: {1, 2, 3},
+		3: {0, 3},
+		4: {0, 1, 2, 3},
+	}
+	runApp(t, sys, n, func(p *sim.Process, r *RankContext) {
+		var mine []int
+		for id, g := range groups {
+			for _, rank := range g {
+				if rank == r.Rank {
+					mine = append(mine, id)
+				}
+			}
+		}
+		for _, id := range mine {
+			if err := r.RegisterAllReduce(id, 512, mem.Float32, mem.Sum, groups[id], 0); err != nil {
+				t.Errorf("register %d: %v", id, err)
+				return
+			}
+		}
+		// Unique per-rank order: rotate by rank.
+		for i := range mine {
+			id := mine[(i+r.Rank)%len(mine)]
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 512)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 512)
+			if err := r.Run(p, id, s, d, nil); err != nil {
+				t.Errorf("run %d: %v", id, err)
+			}
+		}
+	})
+	wantPerRank := map[int]int{0: 3, 1: 3, 2: 3, 3: 3}
+	for rank := 0; rank < n; rank++ {
+		if got := sys.ranks[rank].Completed(); got != wantPerRank[rank] {
+			t.Fatalf("rank %d completed %d, want %d", rank, got, wantPerRank[rank])
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dfccl/internal/cudasim"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+)
+
+// Callback is a user completion callback, invoked by the poller thread
+// when the collective's CQE is observed (Fig. 4, steps 6–7).
+type Callback func()
+
+// runReq is one pending invocation of a registered collective: the
+// buffers for this run. Callbacks are matched FIFO on the CPU side.
+type runReq struct {
+	send, recv *mem.Buffer
+}
+
+// collTask is the daemon-kernel-side state of one registered collective
+// on one GPU: its executor (whose Round/Step/Phase fields are the
+// dynamic context), pending runs, spin state, and statistics.
+type collTask struct {
+	group *Group
+	exec  *prim.Executor
+	runs  []runReq
+	// prepared marks that exec has been Reset for runs[0].
+	prepared bool
+	// inQueue marks presence in the daemon's task queue.
+	inQueue bool
+	// dirty marks progress since the last context save (lazy saving).
+	dirty bool
+	// resident marks the context as loaded in an active slot.
+	resident bool
+	// spin is the current spin threshold in polls.
+	spin int64
+	// enqueueSeq orders queue rebuilds after daemon restarts.
+	enqueueSeq uint64
+
+	// Stats.
+	CtxSwitches    int // preemptions of this collective on this GPU
+	Completions    int // completed runs
+	QueueLenAtLast int // task queue length right after this task's last SQE fetch
+
+	// Core-execution timing of the most recent run (Fig. 9's "core
+	// execution time": preparing overheads + primitive execution).
+	execStarted     bool
+	ExecStartedAt   sim.Time
+	LastCompletedAt sim.Time
+}
+
+// ID returns the collective ID.
+func (t *collTask) ID() int { return t.group.ID }
+
+// RankContext is the per-GPU DFCCL context created by Init: the SQ/CQ
+// pair, the callback map, the poller thread, and the daemon kernel
+// management (Fig. 4).
+type RankContext struct {
+	sys  *System
+	Rank int
+	dev  *cudasim.Device
+
+	sq     *SQ
+	cq     CQ
+	stream *cudasim.Stream
+
+	tasks     map[int]*collTask
+	callbacks map[int][]Callback
+
+	daemonInst *cudasim.KernelInstance
+	finalExit  bool
+	destroyed  bool
+
+	submitted int
+	completed int
+
+	pollerWake *sim.Cond
+	// idleCond is broadcast when completed catches up to submitted;
+	// WaitAll blocks on it.
+	idleCond *sim.Cond
+
+	enqueueCounter uint64
+
+	// Stats (Sec. 6.1 / Fig. 7 / Fig. 11 instrumentation).
+	Stats RankStats
+}
+
+// RankStats aggregates per-GPU daemon statistics.
+type RankStats struct {
+	DaemonStarts   int
+	VoluntaryQuits int
+	SQEsRead       int
+	CQEsWritten    int
+	Preemptions    int
+	ContextLoads   int
+	ContextSaves   int
+	SchedulerPass  int
+}
+
+// Init creates (or returns) the rank context for a GPU — dfcclInit.
+// The calling process becomes the owner; the poller is spawned here.
+func (s *System) Init(p *sim.Process, rank int) *RankContext {
+	if rank < 0 || rank >= len(s.ranks) {
+		panic(fmt.Sprintf("core: rank %d out of range", rank))
+	}
+	if s.ranks[rank] != nil {
+		return s.ranks[rank]
+	}
+	r := &RankContext{
+		sys:        s,
+		Rank:       rank,
+		dev:        s.Devs[rank],
+		sq:         NewSQ(fmt.Sprintf("gpu%d.sq", rank), s.Config.SQSlots),
+		cq:         NewCQ(s.Config.CQVariant, s.Config.CQSlots),
+		tasks:      make(map[int]*collTask),
+		callbacks:  make(map[int][]Callback),
+		pollerWake: sim.NewCond(fmt.Sprintf("gpu%d.pollerWake", rank)),
+		idleCond:   sim.NewCond(fmt.Sprintf("gpu%d.idle", rank)),
+	}
+	r.stream = r.dev.NewStream()
+	s.ranks[rank] = r
+	p.Spawn(fmt.Sprintf("dfccl.poller.gpu%d", rank), r.pollerBody)
+	return r
+}
+
+// Register registers a collective on this rank — dfcclRegister*. All
+// participating ranks must register the same collective ID with the
+// same spec. Registration is cheap and can also happen dynamically at
+// runtime.
+func (r *RankContext) Register(spec prim.Spec, collID, priority int) error {
+	if r.destroyed {
+		return fmt.Errorf("core: rank %d context destroyed", r.Rank)
+	}
+	g, err := r.sys.register(spec, collID, priority)
+	if err != nil {
+		return err
+	}
+	pos, ok := g.posOf[r.Rank]
+	if !ok {
+		return fmt.Errorf("core: rank %d not in devSet of collective %d", r.Rank, collID)
+	}
+	if _, dup := r.tasks[collID]; dup {
+		return fmt.Errorf("core: collective %d already registered on rank %d", collID, r.Rank)
+	}
+	r.tasks[collID] = &collTask{
+		group: g,
+		exec:  g.comm.ring.ExecutorFor(r.sys.Cluster, g.Spec, pos, nil, nil),
+	}
+	return nil
+}
+
+// RegisterAllReduce registers an all-reduce — dfcclRegisterAllReduce.
+func (r *RankContext) RegisterAllReduce(collID, count int, t mem.DataType, op mem.ReduceOp, devSet []int, priority int) error {
+	return r.Register(prim.Spec{Kind: prim.AllReduce, Count: count, Type: t, Op: op, Ranks: devSet}, collID, priority)
+}
+
+// RegisterAllGather registers an all-gather (count per rank).
+func (r *RankContext) RegisterAllGather(collID, count int, t mem.DataType, devSet []int, priority int) error {
+	return r.Register(prim.Spec{Kind: prim.AllGather, Count: count, Type: t, Ranks: devSet}, collID, priority)
+}
+
+// RegisterReduceScatter registers a reduce-scatter (count = total send).
+func (r *RankContext) RegisterReduceScatter(collID, count int, t mem.DataType, op mem.ReduceOp, devSet []int, priority int) error {
+	return r.Register(prim.Spec{Kind: prim.ReduceScatter, Count: count, Type: t, Op: op, Ranks: devSet}, collID, priority)
+}
+
+// RegisterBroadcast registers a broadcast; root indexes devSet.
+func (r *RankContext) RegisterBroadcast(collID, count int, t mem.DataType, root int, devSet []int, priority int) error {
+	return r.Register(prim.Spec{Kind: prim.Broadcast, Count: count, Type: t, Root: root, Ranks: devSet}, collID, priority)
+}
+
+// RegisterReduce registers a reduce; root indexes devSet.
+func (r *RankContext) RegisterReduce(collID, count int, t mem.DataType, op mem.ReduceOp, root int, devSet []int, priority int) error {
+	return r.Register(prim.Spec{Kind: prim.Reduce, Count: count, Type: t, Op: op, Root: root, Ranks: devSet}, collID, priority)
+}
+
+// Run invokes a registered collective — dfcclRun*. It is asynchronous
+// and non-blocking: the SQE is inserted, the callback is recorded in
+// the callback map, and the daemon kernel is started if necessary
+// (event-driven starting, Sec. 4.4).
+func (r *RankContext) Run(p *sim.Process, collID int, sendBuf, recvBuf *mem.Buffer, cb Callback) error {
+	if r.destroyed {
+		return fmt.Errorf("core: rank %d context destroyed", r.Rank)
+	}
+	task, ok := r.tasks[collID]
+	if !ok {
+		return fmt.Errorf("core: collective %d not registered on rank %d", collID, r.Rank)
+	}
+	if err := checkBufferSizes(task.group.Spec, sendBuf, recvBuf); err != nil {
+		return err
+	}
+	task.runs = append(task.runs, runReq{send: sendBuf, recv: recvBuf})
+	r.callbacks[collID] = append(r.callbacks[collID], cb)
+	r.submitted++
+	r.sq.Push(p, SQE{CollID: collID})
+	r.ensureDaemon(p)
+	r.pollerWake.Broadcast(p.Engine())
+	return nil
+}
+
+// RunAllReduce invokes a registered all-reduce — dfcclRunAllReduce.
+// It is an alias of Run with the paper's Listing 1 name; the generic
+// Run works for every registered collective kind.
+func (r *RankContext) RunAllReduce(p *sim.Process, collID int, sendBuf, recvBuf *mem.Buffer, cb Callback) error {
+	return r.Run(p, collID, sendBuf, recvBuf, cb)
+}
+
+func checkBufferSizes(spec prim.Spec, sendBuf, recvBuf *mem.Buffer) error {
+	if spec.TimingOnly {
+		return nil
+	}
+	wantSend, wantRecv := prim.BufferCounts(spec)
+	if sendBuf.Len() != wantSend {
+		return fmt.Errorf("core: %v send buffer has %d elems, want %d", spec.Kind, sendBuf.Len(), wantSend)
+	}
+	if recvBuf.Len() != wantRecv {
+		return fmt.Errorf("core: %v recv buffer has %d elems, want %d", spec.Kind, recvBuf.Len(), wantRecv)
+	}
+	return nil
+}
+
+// Outstanding returns submitted-but-uncompleted run count.
+func (r *RankContext) Outstanding() int { return r.submitted - r.completed }
+
+// Completed returns the number of completed collective runs.
+func (r *RankContext) Completed() int { return r.completed }
+
+// WaitAll blocks the calling process until every submitted run has
+// completed (a convenience for tests and examples; applications
+// normally rely on callbacks).
+func (r *RankContext) WaitAll(p *sim.Process) {
+	for r.Outstanding() > 0 {
+		r.idleCond.Wait(p)
+	}
+}
+
+// Destroy tears down the rank context — dfcclDestroy. It inserts the
+// exiting SQE so a running daemon finally exits, and stops the poller.
+func (r *RankContext) Destroy(p *sim.Process) {
+	if r.destroyed {
+		return
+	}
+	r.destroyed = true
+	r.finalExit = true
+	r.sq.Push(p, SQE{Exit: true})
+	r.pollerWake.Broadcast(p.Engine())
+}
+
+// ensureDaemon launches the daemon kernel if no live instance exists —
+// the event-driven start on SQE insertion and on CQE deficit.
+func (r *RankContext) ensureDaemon(p *sim.Process) {
+	if r.finalExit && r.Outstanding() == 0 {
+		return
+	}
+	if r.daemonInst != nil && !r.daemonInst.Done() {
+		return
+	}
+	grid := 1
+	for _, t := range r.tasks {
+		if t.group.Grid > grid {
+			grid = t.group.Grid
+		}
+	}
+	k := &cudasim.Kernel{
+		Name: fmt.Sprintf("dfccl.daemon.gpu%d", r.Rank),
+		Grid: grid,
+		Body: r.daemonBody,
+	}
+	r.Stats.DaemonStarts++
+	r.daemonInst = r.dev.Launch(p, r.stream, k)
+}
+
+// pollerBody is the CPU poller thread: it drains the CQ, runs
+// callbacks, and restarts the daemon when completions lag submissions
+// (Sec. 4.4). It is event-driven with a modeled discovery latency
+// rather than a hot loop, so idle systems quiesce.
+func (r *RankContext) pollerBody(p *sim.Process) {
+	for {
+		ids := r.cq.Drain()
+		if len(ids) > 0 {
+			// Modeled CQ polling discovery latency.
+			p.Sleep(PollerInterval / 2)
+		}
+		for _, id := range ids {
+			p.Sleep(CallbackTime)
+			r.completed++
+			cbs := r.callbacks[id]
+			if len(cbs) == 0 {
+				panic(fmt.Sprintf("core: CQE for collective %d with no recorded callback", id))
+			}
+			cb := cbs[0]
+			r.callbacks[id] = cbs[1:]
+			if cb != nil {
+				cb()
+			}
+		}
+		if r.Outstanding() == 0 {
+			r.idleCond.Broadcast(p.Engine())
+			if r.destroyed {
+				return
+			}
+			r.pollerWake.Wait(p)
+			continue
+		}
+		// Work is outstanding: make sure a daemon instance is alive
+		// (it may have voluntarily quit), then wait for the daemon's
+		// CQE signal, re-checking after a guard timeout in case a
+		// signal raced with the drain above.
+		r.ensureDaemon(p)
+		r.pollerWake.WaitTimeout(p, 50*PollerInterval)
+	}
+}
+
+// DeviceSynchronize issues an explicit GPU synchronization
+// (cudaDeviceSynchronize) from the application: the calling process
+// blocks until all kernels on this GPU complete — including the daemon
+// kernel, which must voluntarily quit for the synchronization to
+// finish (Sec. 4.4).
+func (r *RankContext) DeviceSynchronize(p *sim.Process) {
+	r.dev.Synchronize(p)
+}
+
+// CoreExecTime returns the most recent run's core execution time for a
+// collective: from its first scheduling in the daemon to completion.
+func (r *RankContext) CoreExecTime(collID int) sim.Duration {
+	t, ok := r.tasks[collID]
+	if !ok || t.Completions == 0 {
+		return 0
+	}
+	return t.LastCompletedAt.Sub(t.ExecStartedAt)
+}
+
+// TaskStats returns per-collective scheduling statistics (context
+// switches, completions, task queue length at last fetch) for the
+// Fig. 11 instrumentation.
+func (r *RankContext) TaskStats(collID int) (ctxSwitches, completions, queueLen int) {
+	t, ok := r.tasks[collID]
+	if !ok {
+		return 0, 0, 0
+	}
+	return t.CtxSwitches, t.Completions, t.QueueLenAtLast
+}
+
+// ResetTaskStats zeroes per-collective counters (between measurement
+// iterations).
+func (r *RankContext) ResetTaskStats() {
+	for _, t := range r.tasks {
+		t.CtxSwitches = 0
+		t.QueueLenAtLast = 0
+	}
+}
+
+// DebugPending describes tasks with unfinished runs, for diagnostics.
+func (r *RankContext) DebugPending() []string {
+	var out []string
+	for id, t := range r.tasks {
+		if len(t.runs) > 0 {
+			out = append(out, fmt.Sprintf("coll%d: runs=%d prepared=%v round=%d step=%d phase=%d ctxsw=%d",
+				id, len(t.runs), t.prepared, t.exec.Round, t.exec.Step, t.exec.Phase, t.CtxSwitches))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

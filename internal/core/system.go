@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dfccl/internal/cudasim"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// System is a DFCCL deployment across a cluster: one simulated device
+// and one RankContext per GPU, a shared registry of collective groups,
+// and the communicator pool that owns ring connectors.
+type System struct {
+	Engine  *sim.Engine
+	Cluster *topo.Cluster
+	Config  Config
+	Devs    []*cudasim.Device
+
+	ranks  []*RankContext
+	groups map[int]*Group
+	pool   *commPool
+}
+
+// NewSystem creates the deployment. Rank contexts are created lazily by
+// Init, mirroring dfcclInit.
+func NewSystem(e *sim.Engine, c *topo.Cluster, cfg Config) *System {
+	s := &System{
+		Engine:  e,
+		Cluster: c,
+		Config:  cfg,
+		ranks:   make([]*RankContext, c.Size()),
+		groups:  make(map[int]*Group),
+		pool:    newCommPool(c),
+	}
+	for _, g := range c.GPUs {
+		s.Devs = append(s.Devs, cudasim.NewDevice(e, g.Rank, g.Model))
+	}
+	return s
+}
+
+// Device returns the simulated device for a rank.
+func (s *System) Device(rank int) *cudasim.Device { return s.Devs[rank] }
+
+// Group is one registered collective: its spec, priority, the
+// communicator allocated from the pool, and per-rank registration state.
+type Group struct {
+	ID       int
+	Spec     prim.Spec
+	Priority int
+	Grid     int // blocks the collective needs; the daemon grid is the max
+	comm     *communicator
+	// posOf maps global rank -> ring position.
+	posOf map[int]int
+}
+
+// Register registers a collective with the system, creating the group
+// on first call and validating consistency on subsequent calls from
+// other ranks (every participant registers the same collective ID with
+// the same spec, as with dfcclRegister*).
+func (s *System) register(spec prim.Spec, collID, priority int) (*Group, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if g, ok := s.groups[collID]; ok {
+		if !sameSpec(g.Spec, spec) {
+			return nil, fmt.Errorf("core: collective %d re-registered with a different spec", collID)
+		}
+		return g, nil
+	}
+	if len(s.groups) >= s.Config.MaxCollectives {
+		return nil, fmt.Errorf("core: collective context buffer full (%d collectives)", s.Config.MaxCollectives)
+	}
+	g := &Group{
+		ID:       collID,
+		Spec:     spec,
+		Priority: priority,
+		Grid:     8,
+		comm:     s.pool.acquire(spec.Ranks, fmt.Sprintf("coll%d", collID)),
+		posOf:    make(map[int]int, len(spec.Ranks)),
+	}
+	for i, r := range spec.Ranks {
+		g.posOf[r] = i
+	}
+	s.groups[collID] = g
+	return g, nil
+}
+
+func sameSpec(a, b prim.Spec) bool {
+	if a.Kind != b.Kind || a.Count != b.Count || a.Type != b.Type || a.Op != b.Op || a.Root != b.Root || len(a.Ranks) != len(b.Ranks) {
+		return false
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumRegistered returns the number of registered collectives.
+func (s *System) NumRegistered() int { return len(s.groups) }
+
+// communicator owns a ring for one registered collective; the pool
+// hands one out per collective so concurrently executing collectives
+// never share connectors (which would corrupt a preempted collective's
+// in-flight chunks).
+type communicator struct {
+	ranks []int
+	ring  *prim.Ring
+	inUse bool
+}
+
+type commPool struct {
+	cluster *topo.Cluster
+	free    map[string][]*communicator
+	created int
+}
+
+func newCommPool(c *topo.Cluster) *commPool {
+	return &commPool{cluster: c, free: make(map[string][]*communicator)}
+}
+
+func rankKey(ranks []int) string {
+	ks := append([]int(nil), ranks...)
+	sort.Ints(ks)
+	return fmt.Sprint(ks)
+}
+
+// acquire returns a communicator over the given ranks, reusing a
+// released one with the same rank set when available.
+func (cp *commPool) acquire(ranks []int, tag string) *communicator {
+	key := rankKey(ranks)
+	if frees := cp.free[key]; len(frees) > 0 {
+		c := frees[len(frees)-1]
+		cp.free[key] = frees[:len(frees)-1]
+		c.inUse = true
+		return c
+	}
+	cp.created++
+	c := &communicator{
+		ranks: append([]int(nil), ranks...),
+		ring:  prim.BuildRing(cp.cluster, prim.Spec{Kind: prim.AllReduce, Ranks: ranks, Type: mem.Float32}, tag),
+		inUse: true,
+	}
+	return c
+}
+
+// release returns a communicator to the pool.
+func (cp *commPool) release(c *communicator) {
+	c.inUse = false
+	cp.free[rankKey(c.ranks)] = append(cp.free[rankKey(c.ranks)], c)
+}
+
+// Created reports how many communicators were ever constructed, for
+// pool-reuse tests.
+func (cp *commPool) Created() int { return cp.created }

@@ -1,0 +1,169 @@
+// Package detect builds the collective dependency graph of Sec. 2.4 and
+// finds circular waits. Nodes are collective parts on GPUs; edges are:
+//
+//  1. an executing collective part points to all its invoked (but not
+//     executing) counterparts on other GPUs, and
+//  2. an invoked collective part points to all executing collective
+//     parts on the same GPU.
+//
+// A cycle in this graph is a deadlock. The deadlocksim package uses it
+// to cross-validate its fixpoint stall detection; test harnesses use it
+// to produce human-readable deadlock reports.
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartState is the paper's per-GPU collective state.
+type PartState int
+
+const (
+	// NotInvoked: the GPU has not reached this collective yet.
+	NotInvoked PartState = iota
+	// Invoked: submitted on the GPU but not executing.
+	Invoked
+	// Executing: holding resources, busy-waiting for peers.
+	Executing
+	// Successful: executing on every GPU of its group.
+	Successful
+)
+
+func (s PartState) String() string {
+	switch s {
+	case NotInvoked:
+		return "not-invoked"
+	case Invoked:
+		return "invoked"
+	case Executing:
+		return "executing"
+	case Successful:
+		return "successful"
+	default:
+		return fmt.Sprintf("PartState(%d)", int(s))
+	}
+}
+
+// Part identifies one collective's part on one GPU.
+type Part struct {
+	Coll int
+	GPU  int
+}
+
+func (p Part) String() string { return fmt.Sprintf("coll%d@gpu%d", p.Coll, p.GPU) }
+
+// Graph is a snapshot of collective states on which cycles are sought.
+type Graph struct {
+	// states maps parts to their state; parts absent are NotInvoked.
+	states map[Part]PartState
+	// byColl and byGPU index the parts.
+	byColl map[int][]Part
+	byGPU  map[int][]Part
+}
+
+// NewGraph returns an empty snapshot.
+func NewGraph() *Graph {
+	return &Graph{
+		states: make(map[Part]PartState),
+		byColl: make(map[int][]Part),
+		byGPU:  make(map[int][]Part),
+	}
+}
+
+// Set records the state of a collective part.
+func (g *Graph) Set(coll, gpu int, s PartState) {
+	p := Part{Coll: coll, GPU: gpu}
+	if _, seen := g.states[p]; !seen {
+		g.byColl[coll] = append(g.byColl[coll], p)
+		g.byGPU[gpu] = append(g.byGPU[gpu], p)
+	}
+	g.states[p] = s
+}
+
+// State returns a part's recorded state.
+func (g *Graph) State(coll, gpu int) PartState { return g.states[Part{Coll: coll, GPU: gpu}] }
+
+// successors enumerates the dependency edges out of p.
+func (g *Graph) successors(p Part) []Part {
+	var out []Part
+	switch g.states[p] {
+	case Executing:
+		// Edge type 1: executing part -> invoked counterparts.
+		for _, q := range g.byColl[p.Coll] {
+			if q.GPU != p.GPU && g.states[q] == Invoked {
+				out = append(out, q)
+			}
+		}
+	case Invoked:
+		// Edge type 2: invoked part -> executing parts on same GPU.
+		for _, q := range g.byGPU[p.GPU] {
+			if q.Coll != p.Coll && g.states[q] == Executing {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// FindCycle returns one dependency cycle, or nil if the graph is
+// acyclic. The cycle is returned in edge order, first node repeated at
+// the end.
+func (g *Graph) FindCycle() []Part {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Part]int, len(g.states))
+	parent := make(map[Part]Part)
+
+	var cycle []Part
+	var dfs func(p Part) bool
+	dfs = func(p Part) bool {
+		color[p] = gray
+		for _, q := range g.successors(p) {
+			switch color[q] {
+			case white:
+				parent[q] = p
+				if dfs(q) {
+					return true
+				}
+			case gray:
+				// Found a back edge q..p; reconstruct.
+				cycle = []Part{q}
+				for cur := p; cur != q; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				// Reverse into edge order and close the loop.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				cycle = append(cycle, q)
+				return true
+			}
+		}
+		color[p] = black
+		return false
+	}
+	// Deterministic iteration order for reproducible reports.
+	roots := make([]Part, 0, len(g.states))
+	for p := range g.states {
+		roots = append(roots, p)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].Coll != roots[j].Coll {
+			return roots[i].Coll < roots[j].Coll
+		}
+		return roots[i].GPU < roots[j].GPU
+	})
+	for _, p := range roots {
+		if color[p] == white && dfs(p) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Deadlocked reports whether the snapshot contains a circular wait.
+func (g *Graph) Deadlocked() bool { return g.FindCycle() != nil }

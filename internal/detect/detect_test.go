@@ -1,0 +1,121 @@
+package detect
+
+import "testing"
+
+func TestNoCycleWhenConsistent(t *testing.T) {
+	g := NewGraph()
+	// Collective A executing everywhere: no invoked parts, no edges.
+	g.Set(1, 0, Executing)
+	g.Set(1, 1, Executing)
+	if g.Deadlocked() {
+		t.Fatal("fully executing collective reported as deadlock")
+	}
+}
+
+func TestFig1cCycleDetected(t *testing.T) {
+	// GPU 0 executes A with B invoked; GPU 1 executes B with A invoked:
+	// A@0 -> A@1 -> B@1 -> B@0 -> A@0.
+	g := NewGraph()
+	g.Set(1, 0, Executing) // A on GPU 0
+	g.Set(2, 0, Invoked)   // B on GPU 0
+	g.Set(2, 1, Executing) // B on GPU 1
+	g.Set(1, 1, Invoked)   // A on GPU 1
+	cycle := g.FindCycle()
+	if cycle == nil {
+		t.Fatal("Fig. 1(c) pattern not detected")
+	}
+	if first, last := cycle[0], cycle[len(cycle)-1]; first != last {
+		t.Fatalf("cycle not closed: %v", cycle)
+	}
+	if len(cycle) != 5 { // 4 distinct parts + repeated head
+		t.Fatalf("cycle = %v, want length 5", cycle)
+	}
+	// Each consecutive pair must be a legal dependency edge.
+	for i := 0; i+1 < len(cycle); i++ {
+		from, to := cycle[i], cycle[i+1]
+		legal := false
+		switch g.State(from.Coll, from.GPU) {
+		case Executing:
+			legal = from.Coll == to.Coll && g.State(to.Coll, to.GPU) == Invoked
+		case Invoked:
+			legal = from.GPU == to.GPU && g.State(to.Coll, to.GPU) == Executing
+		}
+		if !legal {
+			t.Fatalf("illegal edge %v -> %v in %v", from, to, cycle)
+		}
+	}
+}
+
+func TestFig2ExampleCycle(t *testing.T) {
+	// The paper's Fig. 2: A..E on four GPUs with the documented cycle
+	// A0->A1->B1->B2->C2->C3->D3->D0->A0.
+	g := NewGraph()
+	type st struct {
+		coll, gpu int
+		s         PartState
+	}
+	states := []st{
+		{0, 0, Executing}, {1, 0, Executing}, {2, 0, Executing}, {3, 0, Invoked}, {4, 0, Invoked},
+		{1, 1, Executing}, {2, 1, Executing}, {3, 1, Executing}, {0, 1, Invoked}, {4, 1, Invoked},
+		{0, 2, Executing}, {2, 2, Executing}, {3, 2, Executing}, {1, 2, Invoked}, {4, 2, Invoked},
+		{0, 3, Executing}, {1, 3, Executing}, {3, 3, Executing}, {2, 3, Invoked}, {4, 3, Invoked},
+	}
+	for _, x := range states {
+		g.Set(x.coll, x.gpu, x.s)
+	}
+	if !g.Deadlocked() {
+		t.Fatal("Fig. 2 scenario not detected as deadlock")
+	}
+}
+
+func TestSuccessfulPartsHaveNoEdges(t *testing.T) {
+	g := NewGraph()
+	g.Set(1, 0, Successful)
+	g.Set(1, 1, Successful)
+	g.Set(2, 0, Executing)
+	g.Set(2, 1, Invoked)
+	// Chain 2@0 -> 2@1 -> (executing on GPU 1: none) has no cycle.
+	if g.Deadlocked() {
+		t.Fatal("acyclic wait chain reported as deadlock")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[PartState]string{
+		NotInvoked: "not-invoked", Invoked: "invoked",
+		Executing: "executing", Successful: "successful",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	p := Part{Coll: 3, GPU: 7}
+	if p.String() != "coll3@gpu7" {
+		t.Fatalf("part string = %q", p.String())
+	}
+}
+
+func TestDeterministicCycleReport(t *testing.T) {
+	mk := func() []Part {
+		g := NewGraph()
+		g.Set(1, 0, Executing)
+		g.Set(2, 0, Invoked)
+		g.Set(2, 1, Executing)
+		g.Set(1, 1, Invoked)
+		g.Set(5, 2, Executing) // unrelated parts
+		g.Set(6, 2, Invoked)
+		return g.FindCycle()
+	}
+	first := mk()
+	for i := 0; i < 5; i++ {
+		again := mk()
+		if len(again) != len(first) {
+			t.Fatalf("cycle length varies: %v vs %v", again, first)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("cycle report nondeterministic: %v vs %v", again, first)
+			}
+		}
+	}
+}

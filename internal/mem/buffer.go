@@ -1,0 +1,239 @@
+// Package mem implements the simulated memory subsystem: device, host,
+// and page-locked (pinned) buffers with real backing data, the typed
+// element/reduction operations collectives apply to that data, and the
+// connector ring buffers used for inter-GPU transfers (Fig. 5 of the
+// paper: send/recv buffers are local I/O, send/recv connectors carry
+// chunks between peers).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Space identifies where a buffer lives.
+type Space int
+
+const (
+	// DeviceSpace is GPU global memory.
+	DeviceSpace Space = iota
+	// HostSpace is ordinary pageable host memory.
+	HostSpace
+	// PinnedSpace is page-locked host memory; allocating it performs
+	// implicit GPU synchronization (Sec. 2.3 of the paper).
+	PinnedSpace
+)
+
+func (s Space) String() string {
+	switch s {
+	case DeviceSpace:
+		return "device"
+	case HostSpace:
+		return "host"
+	case PinnedSpace:
+		return "pinned"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// DataType is the element type of a collective buffer.
+type DataType int
+
+const (
+	Float32 DataType = iota
+	Float64
+	Int32
+	Int64
+)
+
+// Size returns the element size in bytes.
+func (t DataType) Size() int {
+	switch t {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	default:
+		panic(fmt.Sprintf("mem: unknown DataType(%d)", int(t)))
+	}
+}
+
+func (t DataType) String() string {
+	switch t {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(t))
+	}
+}
+
+// ReduceOp is the reduction applied by reducing collectives.
+type ReduceOp int
+
+const (
+	Sum ReduceOp = iota
+	Prod
+	Max
+	Min
+)
+
+func (o ReduceOp) String() string {
+	switch o {
+	case Sum:
+		return "sum"
+	case Prod:
+		return "prod"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(o))
+	}
+}
+
+// Buffer is a contiguous region with real backing bytes. Collectives in
+// this repository actually move and reduce these bytes, so functional
+// correctness (not just timing) is testable.
+type Buffer struct {
+	Space Space
+	Type  DataType
+	data  []byte
+}
+
+// NewBuffer allocates a buffer of count elements of type t in space s.
+func NewBuffer(s Space, t DataType, count int) *Buffer {
+	if count < 0 {
+		panic("mem: negative element count")
+	}
+	return &Buffer{Space: s, Type: t, data: make([]byte, count*t.Size())}
+}
+
+// Len returns the number of elements.
+func (b *Buffer) Len() int { return len(b.data) / b.Type.Size() }
+
+// Bytes returns the raw backing bytes (shared, not a copy).
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Slice returns the byte range covering elements [lo, hi).
+func (b *Buffer) Slice(lo, hi int) []byte {
+	sz := b.Type.Size()
+	return b.data[lo*sz : hi*sz]
+}
+
+// Float64At decodes element i as a float64 regardless of the element type.
+func (b *Buffer) Float64At(i int) float64 {
+	sz := b.Type.Size()
+	raw := b.data[i*sz : (i+1)*sz]
+	switch b.Type {
+	case Float32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(raw)))
+	case Float64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	case Int32:
+		return float64(int32(binary.LittleEndian.Uint32(raw)))
+	case Int64:
+		return float64(int64(binary.LittleEndian.Uint64(raw)))
+	default:
+		panic("mem: unknown type")
+	}
+}
+
+// SetFloat64 encodes v into element i, converting to the element type.
+func (b *Buffer) SetFloat64(i int, v float64) {
+	sz := b.Type.Size()
+	raw := b.data[i*sz : (i+1)*sz]
+	switch b.Type {
+	case Float32:
+		binary.LittleEndian.PutUint32(raw, math.Float32bits(float32(v)))
+	case Float64:
+		binary.LittleEndian.PutUint64(raw, math.Float64bits(v))
+	case Int32:
+		binary.LittleEndian.PutUint32(raw, uint32(int32(v)))
+	case Int64:
+		binary.LittleEndian.PutUint64(raw, uint64(int64(v)))
+	default:
+		panic("mem: unknown type")
+	}
+}
+
+// Fill sets every element to v.
+func (b *Buffer) Fill(v float64) {
+	for i := 0; i < b.Len(); i++ {
+		b.SetFloat64(i, v)
+	}
+}
+
+// Reduce applies op element-wise over src into dst (dst = dst op src).
+// Both slices must hold whole elements of type t.
+func Reduce(op ReduceOp, t DataType, dst, src []byte) {
+	sz := t.Size()
+	if len(dst) != len(src) || len(dst)%sz != 0 {
+		panic(fmt.Sprintf("mem: Reduce size mismatch: dst=%d src=%d elem=%d", len(dst), len(src), sz))
+	}
+	n := len(dst) / sz
+	for i := 0; i < n; i++ {
+		d := decode(t, dst[i*sz:])
+		s := decode(t, src[i*sz:])
+		encode(t, dst[i*sz:], apply(op, d, s))
+	}
+}
+
+func decode(t DataType, raw []byte) float64 {
+	switch t {
+	case Float32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(raw)))
+	case Float64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	case Int32:
+		return float64(int32(binary.LittleEndian.Uint32(raw)))
+	case Int64:
+		return float64(int64(binary.LittleEndian.Uint64(raw)))
+	default:
+		panic("mem: unknown type")
+	}
+}
+
+func encode(t DataType, raw []byte, v float64) {
+	switch t {
+	case Float32:
+		binary.LittleEndian.PutUint32(raw, math.Float32bits(float32(v)))
+	case Float64:
+		binary.LittleEndian.PutUint64(raw, math.Float64bits(v))
+	case Int32:
+		binary.LittleEndian.PutUint32(raw, uint32(int32(v)))
+	case Int64:
+		binary.LittleEndian.PutUint64(raw, uint64(int64(v)))
+	default:
+		panic("mem: unknown type")
+	}
+}
+
+func apply(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic("mem: unknown op")
+	}
+}

@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"fmt"
+
+	"dfccl/internal/sim"
+)
+
+// Connector is the lock-free ring buffer used for inter-GPU data
+// transfer (Fig. 5 of the paper). The sender's "send connector" and the
+// receiver's "recv connector" are the same object viewed from the two
+// ends. Slots carry whole chunks.
+//
+// The key property the paper exploits for preemption (Sec. 4.1) holds by
+// construction: once a chunk is written to a slot it remains visible to
+// the peer even if the writer is preempted immediately afterwards, and
+// regardless of whether the reader is currently scheduled.
+type Connector struct {
+	name  string
+	slots [][]byte
+	// head counts consumed chunks, tail counts produced chunks;
+	// tail-head is the number of readable slots.
+	head, tail uint64
+
+	readable *sim.Cond // signalled on write
+	writable *sim.Cond // signalled on read
+
+	// Owner is the collective ID currently holding this connector, or
+	// -1 when free. The daemon kernel uses it to keep other collectives
+	// from corrupting a preempted collective's in-flight chunks
+	// (Sec. 4.5 "prevents other collectives from using preempted,
+	// uncompleted collective's connectors").
+	Owner int
+}
+
+// NewConnector creates a connector with the given number of ring slots.
+func NewConnector(name string, slots int) *Connector {
+	if slots < 1 {
+		panic("mem: connector needs at least one slot")
+	}
+	return &Connector{
+		name:     name,
+		slots:    make([][]byte, slots),
+		readable: sim.NewCond(name + ".readable"),
+		writable: sim.NewCond(name + ".writable"),
+		Owner:    -1,
+	}
+}
+
+// Name returns the diagnostic name.
+func (c *Connector) Name() string { return c.name }
+
+// Cap returns the slot count.
+func (c *Connector) Cap() int { return len(c.slots) }
+
+// Pending returns the number of written-but-unread chunks.
+func (c *Connector) Pending() int { return int(c.tail - c.head) }
+
+// CanWrite reports whether a slot is free for the producer.
+func (c *Connector) CanWrite() bool { return c.tail-c.head < uint64(len(c.slots)) }
+
+// CanRead reports whether a chunk is available for the consumer.
+func (c *Connector) CanRead() bool { return c.tail > c.head }
+
+// Write deposits a chunk into the next slot. The caller must have
+// checked CanWrite; Write panics otherwise, because a real ring buffer
+// overrun would corrupt data. The chunk is copied, matching the
+// semantics of staging data into mapped transfer memory.
+func (c *Connector) Write(e *sim.Engine, chunk []byte) {
+	if !c.CanWrite() {
+		panic(fmt.Sprintf("mem: connector %s overrun", c.name))
+	}
+	buf := make([]byte, len(chunk))
+	copy(buf, chunk)
+	c.slots[c.tail%uint64(len(c.slots))] = buf
+	c.tail++
+	c.readable.Broadcast(e)
+}
+
+// Read consumes the oldest chunk. The caller must have checked CanRead.
+func (c *Connector) Read(e *sim.Engine) []byte {
+	if !c.CanRead() {
+		panic(fmt.Sprintf("mem: connector %s underrun", c.name))
+	}
+	chunk := c.slots[c.head%uint64(len(c.slots))]
+	c.slots[c.head%uint64(len(c.slots))] = nil
+	c.head++
+	c.writable.Broadcast(e)
+	return chunk
+}
+
+// Peek returns the oldest chunk without consuming it.
+func (c *Connector) Peek() []byte {
+	if !c.CanRead() {
+		panic(fmt.Sprintf("mem: connector %s underrun on peek", c.name))
+	}
+	return c.slots[c.head%uint64(len(c.slots))]
+}
+
+// Readable returns the condition signalled when a chunk arrives.
+func (c *Connector) Readable() *sim.Cond { return c.readable }
+
+// Writable returns the condition signalled when a slot frees up.
+func (c *Connector) Writable() *sim.Cond { return c.writable }
+
+// Reset clears the connector for reuse by a new collective. It panics
+// if in-flight chunks remain, which would indicate the daemon kernel
+// violated connector ownership of a preempted collective.
+func (c *Connector) Reset() {
+	if c.Pending() != 0 {
+		panic(fmt.Sprintf("mem: resetting connector %s with %d in-flight chunks", c.name, c.Pending()))
+	}
+	c.Owner = -1
+}
+
+// DeviceMemory tracks global-memory allocation on one simulated GPU.
+// It exists so workload-independent memory overheads (Sec. 6.2) can be
+// accounted and so resource-depletion scenarios are reproducible.
+type DeviceMemory struct {
+	Capacity int64
+	used     int64
+}
+
+// NewDeviceMemory returns an allocator with the given capacity in bytes.
+func NewDeviceMemory(capacity int64) *DeviceMemory {
+	return &DeviceMemory{Capacity: capacity}
+}
+
+// Used returns the currently allocated bytes.
+func (d *DeviceMemory) Used() int64 { return d.used }
+
+// Alloc reserves n bytes, reporting whether the allocation fit.
+func (d *DeviceMemory) Alloc(n int64) bool {
+	if n < 0 {
+		panic("mem: negative allocation")
+	}
+	if d.used+n > d.Capacity {
+		return false
+	}
+	d.used += n
+	return true
+}
+
+// Free releases n bytes.
+func (d *DeviceMemory) Free(n int64) {
+	if n < 0 || n > d.used {
+		panic(fmt.Sprintf("mem: bad free of %d (used %d)", n, d.used))
+	}
+	d.used -= n
+}

@@ -1,0 +1,130 @@
+// Package metrics provides the small statistics toolkit the benchmark
+// harness uses: running series, mean/stddev/coefficient-of-variation,
+// and bandwidth computation for collective sweeps.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dfccl/internal/sim"
+)
+
+// Series accumulates per-iteration samples (e.g. iteration times or
+// throughputs).
+type Series struct {
+	Name    string
+	Samples []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.Samples = append(s.Samples, v) }
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Samples {
+		sum += v
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Std returns the population standard deviation.
+func (s *Series) Std() float64 {
+	n := len(s.Samples)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s.Samples {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// CoV returns the coefficient of variation (std/mean), the stability
+// metric of the paper's Sec. 6.4.3.
+func (s *Series) CoV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Std() / m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation on the sorted samples.
+func (s *Series) Percentile(p float64) float64 {
+	n := len(s.Samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Samples...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	idx := p / 100 * float64(n-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RunningMeans returns the paper's Fig. 12 metric: element i is the
+// mean of samples[0..i].
+func (s *Series) RunningMeans() []float64 {
+	out := make([]float64, len(s.Samples))
+	sum := 0.0
+	for i, v := range s.Samples {
+		sum += v
+		out[i] = sum / float64(i+1)
+	}
+	return out
+}
+
+func (s *Series) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.3f std=%.3f cov=%.2f%%", s.Name, s.Len(), s.Mean(), s.Std(), 100*s.CoV())
+}
+
+// AlgoBandwidth returns algorithm bandwidth in GB/s for a collective
+// moving `bytes` of payload completed in elapsed virtual time, the
+// NCCL-Tests metric of Fig. 8.
+func AlgoBandwidth(bytes int, elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(elapsed) // bytes/ns == GB/s
+}
+
+// BusBandwidth converts algorithm bandwidth to bus bandwidth for an
+// all-reduce over n ranks (factor 2(n-1)/n), as NCCL-Tests reports.
+func BusBandwidth(algoBW float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return algoBW * 2 * float64(n-1) / float64(n)
+}
+
+// Throughput returns samples/second given total samples processed in
+// elapsed virtual time.
+func Throughput(samples int, elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(samples) / (float64(elapsed) / float64(sim.Second))
+}

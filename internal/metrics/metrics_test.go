@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dfccl/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.Mean() != 0 || s.Std() != 0 || s.CoV() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if s.Std() != 2 { // classic example set
+		t.Fatalf("std = %v, want 2", s.Std())
+	}
+	if got := s.CoV(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("cov = %v, want 0.4", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := &Series{Samples: []float64{10, 20, 30, 40, 50}}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	empty := &Series{}
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestRunningMeans(t *testing.T) {
+	s := &Series{Samples: []float64{1, 3, 5}}
+	got := s.RunningMeans()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("running means = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBandwidthHelpers(t *testing.T) {
+	// 1 GB in 1 second of virtual time = 1 GB/s.
+	if got := AlgoBandwidth(1<<30, sim.Second); math.Abs(got-1.0737) > 0.01 {
+		t.Fatalf("algo bw = %v, want ≈1.07 (GiB vs GB)", got)
+	}
+	if got := BusBandwidth(4, 8); got != 7 {
+		t.Fatalf("bus bw = %v, want 7 (factor 2*7/8)", got)
+	}
+	if BusBandwidth(4, 0) != 0 || AlgoBandwidth(100, 0) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+	if got := Throughput(100, 2*sim.Second); got != 50 {
+		t.Fatalf("throughput = %v, want 50", got)
+	}
+}
+
+// Property: CoV is scale-invariant for positive scalings.
+func TestCoVScaleInvariant(t *testing.T) {
+	f := func(xs []float64, kRaw uint8) bool {
+		k := float64(kRaw%20) + 1
+		var a, b Series
+		sum := 0.0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+			a.Add(x + 1e9) // shift positive so mean is nonzero
+			b.Add(k * (x + 1e9))
+			sum += x
+		}
+		if a.Len() == 0 {
+			return true
+		}
+		return math.Abs(a.CoV()-b.CoV()) < 1e-9*(1+a.CoV())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, p1Raw, p2Raw uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		s := &Series{Samples: xs}
+		p1 := float64(p1Raw) / 2.55
+		p2 := float64(p2Raw) / 2.55
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return s.Percentile(p1) <= s.Percentile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

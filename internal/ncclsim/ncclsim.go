@@ -1,0 +1,152 @@
+// Package ncclsim implements the NCCL-like baseline library the paper
+// compares against: each collective call launches a dedicated kernel
+// that executes the rank's ring primitive sequence with *indefinite*
+// busy-waiting while holding its SM blocks. This reproduces NCCL's
+// deadlock anatomy exactly (Sec. 2.3): mutual exclusion on block slots,
+// hold-and-wait inside primitives, and no preemption. Whether a
+// disordered workload deadlocks then depends only on streams, resources,
+// and GPU synchronization — just as in the paper's Fig. 1.
+package ncclsim
+
+import (
+	"fmt"
+
+	"dfccl/internal/cudasim"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// KernelStartup is the fixed in-kernel setup cost before primitives run
+// (loading communicator state, channel setup), calibrated so small-buffer
+// end-to-end latency lands near the paper's Fig. 9(a) measurements.
+const KernelStartup = 2 * sim.Microsecond
+
+// RoundResync is the per-chunk-round channel resynchronization cost a
+// dedicated NCCL kernel pays between chunk loops. DFCCL's daemon kernel
+// avoids it by fusing rounds across its resident pipeline — the source
+// of the core-execution-time gap in Fig. 9(b).
+const RoundResync = 5 * sim.Microsecond
+
+// DefaultChannels is the number of blocks a collective kernel occupies,
+// modeling NCCL channels.
+const DefaultChannels = 8
+
+// Lib is the per-cluster library state: one simulated device per rank.
+type Lib struct {
+	Cluster *topo.Cluster
+	Devs    []*cudasim.Device
+	engine  *sim.Engine
+	comms   int
+}
+
+// New creates the library and one device per GPU in the cluster.
+func New(e *sim.Engine, c *topo.Cluster) *Lib {
+	l := &Lib{Cluster: c, engine: e}
+	for _, g := range c.GPUs {
+		l.Devs = append(l.Devs, cudasim.NewDevice(e, g.Rank, g.Model))
+	}
+	return l
+}
+
+// Engine returns the simulation engine.
+func (l *Lib) Engine() *sim.Engine { return l.engine }
+
+// Device returns the simulated device for a global rank.
+func (l *Lib) Device(rank int) *cudasim.Device { return l.Devs[rank] }
+
+// Comm is a communicator over a fixed rank set. As with NCCL, a single
+// communicator must not execute two collectives concurrently; issue
+// concurrent collectives on separate communicators.
+type Comm struct {
+	lib   *Lib
+	id    int
+	Ranks []int
+	ring  *prim.Ring
+	// Channels is the block count each collective kernel occupies.
+	Channels int
+	// calls counts collective invocations, for kernel naming.
+	calls int
+}
+
+// NewComm creates a communicator over the given global ranks.
+func (l *Lib) NewComm(ranks []int) *Comm {
+	if len(ranks) == 0 {
+		panic("ncclsim: empty communicator")
+	}
+	l.comms++
+	c := &Comm{lib: l, id: l.comms, Ranks: append([]int(nil), ranks...), Channels: DefaultChannels}
+	// The ring's connector wiring depends only on the rank list, so it
+	// is built once per communicator, like NCCL's transport setup.
+	c.ring = prim.BuildRing(l.Cluster, prim.Spec{Kind: prim.AllReduce, Ranks: c.Ranks, Count: 0, Type: mem.Float32}, fmt.Sprintf("comm%d", l.comms))
+	return c
+}
+
+// pos returns the ring position of a global rank.
+func (c *Comm) pos(rank int) int {
+	for i, r := range c.Ranks {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("ncclsim: rank %d not in communicator %v", rank, c.Ranks))
+}
+
+// Launch enqueues the rank's part of a collective on the given stream
+// and returns the kernel instance. The host process pays the launch
+// overhead. The kernel busy-waits indefinitely (spin budget -1): if the
+// application creates circular collective dependency, the simulation
+// engine reports a global deadlock, as real NCCL would hang.
+func (c *Comm) Launch(p *sim.Process, stream *cudasim.Stream, rank int, spec prim.Spec, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	if len(spec.Ranks) == 0 {
+		spec.Ranks = c.Ranks
+	}
+	pos := c.pos(rank)
+	x := c.ring.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
+	c.calls++
+	dev := c.lib.Devs[rank]
+	k := &cudasim.Kernel{
+		Name: fmt.Sprintf("nccl.%v.c%d.%d", spec.Kind, c.id, c.calls),
+		Grid: c.Channels,
+		Body: func(kc *cudasim.KernelCtx) {
+			kc.Sleep(KernelStartup)
+			prevRound := 0
+			for {
+				if x.StepOnce(kc.Process, -1) == prim.Done {
+					return
+				}
+				if x.Round > prevRound {
+					prevRound = x.Round
+					kc.Sleep(RoundResync)
+				}
+			}
+		},
+	}
+	return dev.Launch(p, stream, k)
+}
+
+// AllReduce launches an all-reduce over the communicator's ranks.
+func (c *Comm) AllReduce(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, op mem.ReduceOp, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllReduce, Count: count, Type: t, Op: op, Ranks: c.Ranks}, sendBuf, recvBuf)
+}
+
+// AllGather launches an all-gather (count = per-rank contribution).
+func (c *Comm) AllGather(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllGather, Count: count, Type: t, Ranks: c.Ranks}, sendBuf, recvBuf)
+}
+
+// ReduceScatter launches a reduce-scatter (count = total send elements).
+func (c *Comm) ReduceScatter(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, op mem.ReduceOp, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.ReduceScatter, Count: count, Type: t, Op: op, Ranks: c.Ranks}, sendBuf, recvBuf)
+}
+
+// Broadcast launches a broadcast from root (an index into Ranks).
+func (c *Comm) Broadcast(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, root int, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.Broadcast, Count: count, Type: t, Root: root, Ranks: c.Ranks}, sendBuf, recvBuf)
+}
+
+// Reduce launches a reduce to root (an index into Ranks).
+func (c *Comm) Reduce(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, op mem.ReduceOp, root int, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.Reduce, Count: count, Type: t, Op: op, Root: root, Ranks: c.Ranks}, sendBuf, recvBuf)
+}

@@ -1,0 +1,133 @@
+package ncclsim
+
+import (
+	"testing"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+func TestAllFiveCollectivesThroughNCCL(t *testing.T) {
+	const n = 4
+	e := sim.NewEngine()
+	c := topo.Server3090(n)
+	lib := New(e, c)
+	ranks := []int{0, 1, 2, 3}
+	comms := make([]*Comm, 5)
+	for i := range comms {
+		comms[i] = lib.NewComm(ranks)
+	}
+	results := make([]map[string]*mem.Buffer, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		results[rank] = make(map[string]*mem.Buffer)
+		e.Spawn("host", func(p *sim.Process) {
+			d := lib.Device(rank)
+			mk := func(sc, rc int, fill float64) (*mem.Buffer, *mem.Buffer) {
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, sc)
+				r := mem.NewBuffer(mem.DeviceSpace, mem.Float64, rc)
+				s.Fill(fill)
+				return s, r
+			}
+			s1, r1 := mk(32, 32, float64(rank+1))
+			k1 := comms[0].AllReduce(p, d.NewStream(), rank, 32, mem.Float64, mem.Sum, s1, r1)
+			s2, r2 := mk(8, 8*n, float64(rank))
+			k2 := comms[1].AllGather(p, d.NewStream(), rank, 8, mem.Float64, s2, r2)
+			s3, r3 := mk(8*n, 8, 2)
+			k3 := comms[2].ReduceScatter(p, d.NewStream(), rank, 8*n, mem.Float64, mem.Sum, s3, r3)
+			s4, r4 := mk(16, 16, float64(100+rank))
+			k4 := comms[3].Broadcast(p, d.NewStream(), rank, 16, mem.Float64, 1, s4, r4)
+			s5, r5 := mk(16, 16, 3)
+			k5 := comms[4].Reduce(p, d.NewStream(), rank, 16, mem.Float64, mem.Sum, 2, s5, r5)
+			for _, k := range []*cKernel{{k1}, {k2}, {k3}, {k4}, {k5}} {
+				k.i.Wait(p)
+			}
+			results[rank]["ar"] = r1
+			results[rank]["ag"] = r2
+			results[rank]["rs"] = r3
+			results[rank]["bc"] = r4
+			results[rank]["rd"] = r5
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank := 0; rank < n; rank++ {
+		if got := results[rank]["ar"].Float64At(0); got != 10 {
+			t.Fatalf("all-reduce rank %d = %v, want 10", rank, got)
+		}
+		for seg := 0; seg < n; seg++ {
+			if got := results[rank]["ag"].Float64At(seg * 8); got != float64(seg) {
+				t.Fatalf("all-gather rank %d seg %d = %v", rank, seg, got)
+			}
+		}
+		if got := results[rank]["rs"].Float64At(0); got != float64(2*n) {
+			t.Fatalf("reduce-scatter rank %d = %v, want %v", rank, got, float64(2*n))
+		}
+		if got := results[rank]["bc"].Float64At(0); got != 101 {
+			t.Fatalf("broadcast rank %d = %v, want 101", rank, got)
+		}
+	}
+	if got := results[2]["rd"].Float64At(0); got != float64(3*n) {
+		t.Fatalf("reduce root = %v, want %v", got, float64(3*n))
+	}
+}
+
+// wrapper to range over heterogeneous kernel handles above.
+type cKernel struct {
+	i interface{ Wait(*sim.Process) }
+}
+
+func TestLatencyScalesWithRingSize(t *testing.T) {
+	lat := func(n int) sim.Time {
+		e := sim.NewEngine()
+		c := topo.Server3090(n)
+		lib := New(e, c)
+		ranks := make([]int, n)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		comm := lib.NewComm(ranks)
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			e.Spawn("h", func(p *sim.Process) {
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+				r := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 64)
+				comm.AllReduce(p, lib.Device(rank).NewStream(), rank, 64, mem.Float32, mem.Sum, s, r).Wait(p)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if l2, l8 := lat(2), lat(8); l8 <= l2 {
+		t.Fatalf("8-GPU latency %v not above 2-GPU %v (ring steps scale with N)", l8, l2)
+	}
+}
+
+func TestRDMAPathSlowerThanSHM(t *testing.T) {
+	lat := func(cluster *topo.Cluster, ranks []int) sim.Time {
+		e := sim.NewEngine()
+		lib := New(e, cluster)
+		comm := lib.NewComm(ranks)
+		for _, rank := range ranks {
+			rank := rank
+			e.Spawn("h", func(p *sim.Process) {
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 1<<18)
+				r := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 1<<18)
+				comm.AllReduce(p, lib.Device(rank).NewStream(), rank, 1<<18, mem.Float32, mem.Sum, s, r).Wait(p)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	intra := lat(topo.Server3090(8), []int{0, 1, 2, 3})
+	inter := lat(topo.MultiNode3090(2), []int{0, 1, 8, 9}) // crosses machines
+	if inter <= intra {
+		t.Fatalf("cross-machine all-reduce %v not slower than intra-node %v", inter, intra)
+	}
+}

@@ -1,0 +1,72 @@
+// Package orch provides the communication backends the training
+// harness swaps between: DFCCL, and NCCL driven by the CPU
+// orchestration methods of Sec. 2.5 — OneFlow-style static sorting,
+// Horovod's dynamic central coordinator, KungFu's negotiated fixed
+// order, and BytePS-style intra-node coordination. All backends expose
+// the same asynchronous collective API so the training workloads of
+// Figs. 10-13 are backend-agnostic.
+package orch
+
+import (
+	"fmt"
+
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+)
+
+// Backend is the training-facing collective API. Collectives are
+// registered once per rank and launched repeatedly; Launch is
+// asynchronous and runs of one collective serialize.
+type Backend interface {
+	Name() string
+	// Register declares a collective. All ranks in spec.Ranks must
+	// register the same collID with the same spec.
+	Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error
+	// Launch asynchronously starts the next run of collID on rank.
+	Launch(p *sim.Process, rank, collID int) error
+	// Wait blocks until every launched run of collID completed on rank.
+	Wait(p *sim.Process, rank, collID int)
+	// WaitAll blocks until all launched collectives completed on rank.
+	WaitAll(p *sim.Process, rank int)
+	// Teardown releases rank resources; after all ranks tear down the
+	// backend quiesces.
+	Teardown(p *sim.Process, rank int)
+}
+
+// collState tracks one collective's per-rank launch/completion counts.
+type collState struct {
+	spec     prim.Spec
+	priority int
+	launched map[int]int // rank -> runs launched
+	done     map[int]int // rank -> runs completed
+	doneCond *sim.Cond
+}
+
+func newCollState(spec prim.Spec, priority int) *collState {
+	return &collState{
+		spec:     spec,
+		priority: priority,
+		launched: make(map[int]int),
+		done:     make(map[int]int),
+		doneCond: sim.NewCond("coll.done"),
+	}
+}
+
+// waitRank blocks until completions catch launches for rank.
+func (c *collState) waitRank(p *sim.Process, rank int) {
+	for c.done[rank] < c.launched[rank] {
+		c.doneCond.Wait(p)
+	}
+}
+
+func validateRegister(colls map[int]*collState, collID int, spec prim.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if existing, ok := colls[collID]; ok {
+		if existing.spec.Kind != spec.Kind || existing.spec.Count != spec.Count || len(existing.spec.Ranks) != len(spec.Ranks) {
+			return fmt.Errorf("orch: collective %d re-registered with different spec", collID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package orch
+
+import (
+	"fmt"
+
+	"dfccl/internal/core"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// DFCCL is the backend built on the paper's library: collectives are
+// registered once and invoked asynchronously through the SQ; the daemon
+// kernel schedules and preempts them, so no CPU orchestration of launch
+// order is needed — ranks may launch in any order.
+type DFCCL struct {
+	Sys   *System
+	colls map[int]*collState
+	bufs  map[bufKey]bufPair
+}
+
+// System aliases core.System so callers can reach the underlying rank
+// contexts for statistics (Fig. 11 instrumentation).
+type System = core.System
+
+type bufKey struct{ rank, collID int }
+type bufPair struct{ send, recv *mem.Buffer }
+
+// NewDFCCL builds a DFCCL backend over a cluster.
+func NewDFCCL(e *sim.Engine, c *topo.Cluster, cfg core.Config) *DFCCL {
+	return &DFCCL{
+		Sys:   core.NewSystem(e, c, cfg),
+		colls: make(map[int]*collState),
+		bufs:  make(map[bufKey]bufPair),
+	}
+}
+
+// Name implements Backend.
+func (d *DFCCL) Name() string { return "dfccl" }
+
+// Register implements Backend.
+func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	if err := validateRegister(d.colls, collID, spec); err != nil {
+		return err
+	}
+	if _, ok := d.colls[collID]; !ok {
+		d.colls[collID] = newCollState(spec, priority)
+	}
+	rc := d.Sys.Init(p, rank)
+	if err := rc.Register(spec, collID, priority); err != nil {
+		return err
+	}
+	sendCount, recvCount := prim.BufferCounts(spec)
+	if spec.TimingOnly {
+		sendCount, recvCount = 0, 0
+	}
+	d.bufs[bufKey{rank, collID}] = bufPair{
+		send: mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount),
+		recv: mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount),
+	}
+	return nil
+}
+
+// Launch implements Backend: dfcclRun* with a completion callback.
+func (d *DFCCL) Launch(p *sim.Process, rank, collID int) error {
+	c, ok := d.colls[collID]
+	if !ok {
+		return fmt.Errorf("orch: collective %d not registered", collID)
+	}
+	bufs := d.bufs[bufKey{rank, collID}]
+	rc := d.Sys.Init(p, rank)
+	c.launched[rank]++
+	e := p.Engine()
+	return rc.Run(p, collID, bufs.send, bufs.recv, func() {
+		c.done[rank]++
+		c.doneCond.Broadcast(e)
+	})
+}
+
+// Wait implements Backend.
+func (d *DFCCL) Wait(p *sim.Process, rank, collID int) {
+	if c, ok := d.colls[collID]; ok {
+		c.waitRank(p, rank)
+	}
+}
+
+// WaitAll implements Backend.
+func (d *DFCCL) WaitAll(p *sim.Process, rank int) {
+	d.Sys.Init(p, rank).WaitAll(p)
+}
+
+// Teardown implements Backend.
+func (d *DFCCL) Teardown(p *sim.Process, rank int) {
+	d.Sys.Init(p, rank).Destroy(p)
+}
+
+// RankStats exposes the daemon statistics for a rank.
+func (d *DFCCL) RankStats(p *sim.Process, rank int) core.RankStats {
+	return d.Sys.Init(p, rank).Stats
+}

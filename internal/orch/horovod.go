@@ -1,0 +1,299 @@
+package orch
+
+import (
+	"fmt"
+	"sort"
+
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// AnnounceCost models a rank's readiness message to the coordinator.
+const AnnounceCost = 20 * sim.Microsecond
+
+// Horovod is the dynamic centralized coordination baseline (Sec. 2.5):
+// ranks announce tensor readiness to a central coordinator, which each
+// cycle broadcasts the list of collectives ready on *all* ranks; ranks
+// then launch in the broadcast order. Negotiation delays collective
+// launch relative to readiness, which is where its throughput gap in
+// Fig. 10 comes from.
+type Horovod struct {
+	*ncclBase
+	// CycleTime is the coordinator's negotiation cycle (Horovod's
+	// HOROVOD_CYCLE_TIME).
+	CycleTime sim.Duration
+	// MaxPerCycle caps responses per cycle, modeling the coordinator's
+	// serialized negotiation throughput.
+	MaxPerCycle int
+	// PerMachine scopes coordination to each machine (the BytePS-style
+	// intra-node coordination variant).
+	PerMachine bool
+	// WaveGated makes the coordinator release a training step's
+	// collectives only after the whole step's set has been announced
+	// on every rank. This models the loss of compute-communication
+	// overlap that dynamic runtime coordination causes relative to a
+	// static plan — the dominant term in Horovod's and KungFu's
+	// Fig. 10 throughput gap.
+	WaveGated bool
+
+	cluster   *topo.Cluster
+	announced map[int]map[int]int // collID -> rank -> runs announced
+	queuedRun map[int]int         // collID -> runs handed to launchers
+	firstSeen []int               // collIDs in first-announcement order
+	seen      map[int]bool
+
+	launchQ     map[int][]int // rank -> collIDs pending launch
+	launchCond  *sim.Cond
+	changed     *sim.Cond // announcements changed; coordinator re-checks
+	coordOn     bool
+	launchersOn map[int]bool
+	tornDown    map[int]bool
+	stopped     bool
+}
+
+// NewHorovod builds the Horovod-style coordinated backend with the
+// calibrated defaults.
+func NewHorovod(e *sim.Engine, c *topo.Cluster) *Horovod {
+	return &Horovod{
+		ncclBase:    newNCCLBase(e, c),
+		CycleTime:   5 * sim.Millisecond,
+		MaxPerCycle: 1,
+		WaveGated:   true,
+		cluster:     c,
+		announced:   make(map[int]map[int]int),
+		queuedRun:   make(map[int]int),
+		seen:        make(map[int]bool),
+		launchQ:     make(map[int][]int),
+		launchCond:  sim.NewCond("horovod.launch"),
+		changed:     sim.NewCond("horovod.changed"),
+		launchersOn: make(map[int]bool),
+		tornDown:    make(map[int]bool),
+	}
+}
+
+// NewBytePS builds the BytePS-style variant: coordination scoped to
+// each machine with a faster cycle.
+func NewBytePS(e *sim.Engine, c *topo.Cluster) *Horovod {
+	h := NewHorovod(e, c)
+	h.CycleTime = 1 * sim.Millisecond
+	h.MaxPerCycle = 4
+	h.PerMachine = true
+	return h
+}
+
+// Name implements Backend.
+func (h *Horovod) Name() string {
+	if h.PerMachine {
+		return "nccl-byteps"
+	}
+	return "nccl-horovod"
+}
+
+// Register implements Backend.
+func (h *Horovod) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	if err := h.register(rank, collID, spec, priority); err != nil {
+		return err
+	}
+	if h.announced[collID] == nil {
+		h.announced[collID] = make(map[int]int)
+	}
+	return nil
+}
+
+// Launch implements Backend: announce readiness; the coordinator
+// decides when the collective actually starts.
+func (h *Horovod) Launch(p *sim.Process, rank, collID int) error {
+	if _, ok := h.colls[collID]; !ok {
+		return fmt.Errorf("orch: collective %d not registered", collID)
+	}
+	p.Sleep(AnnounceCost)
+	h.announced[collID][rank]++
+	if !h.seen[collID] {
+		h.seen[collID] = true
+		h.firstSeen = append(h.firstSeen, collID)
+	}
+	h.ensureProcs(p, rank)
+	h.changed.Broadcast(p.Engine())
+	return nil
+}
+
+func (h *Horovod) ensureProcs(p *sim.Process, rank int) {
+	if !h.coordOn {
+		h.coordOn = true
+		p.Spawn("horovod.coordinator", h.coordinator)
+	}
+	if !h.launchersOn[rank] {
+		h.launchersOn[rank] = true
+		rank := rank
+		p.Spawn(fmt.Sprintf("horovod.launcher.%d", rank), func(lp *sim.Process) {
+			h.launcher(lp, rank)
+		})
+	}
+}
+
+// gateRanks returns the ranks whose announcements gate a launch on
+// `rank` for collID: all participants (global coordination) or the
+// participants sharing rank's machine (per-machine scope).
+func (h *Horovod) gateRanks(collID int) [][]int {
+	ranks := h.colls[collID].spec.Ranks
+	if !h.PerMachine {
+		return [][]int{ranks}
+	}
+	byMachine := make(map[int][]int)
+	var machines []int
+	for _, r := range ranks {
+		m := h.cluster.GPUs[r].Machine
+		if _, ok := byMachine[m]; !ok {
+			machines = append(machines, m)
+		}
+		byMachine[m] = append(byMachine[m], r)
+	}
+	sort.Ints(machines)
+	out := make([][]int, 0, len(machines))
+	for _, m := range machines {
+		out = append(out, byMachine[m])
+	}
+	return out
+}
+
+// coordinator is the central negotiation loop: each cycle it releases
+// up to MaxPerCycle collectives that every gating rank has announced.
+func (h *Horovod) coordinator(p *sim.Process) {
+	for {
+		if h.stopped {
+			return
+		}
+		p.Sleep(h.CycleTime)
+		released := 0
+		for _, collID := range h.firstSeen {
+			if released >= h.MaxPerCycle {
+				break
+			}
+			for _, gate := range h.gateRanks(collID) {
+				// Next run index ready on every gate rank?
+				next := h.queuedRun[collID]
+				ready := true
+				for _, r := range gate {
+					if h.announced[collID][r] <= next {
+						ready = false
+						break
+					}
+				}
+				if ready && h.WaveGated && !h.waveComplete(next) {
+					ready = false
+				}
+				if ready {
+					h.queuedRun[collID] = next + 1
+					for _, r := range h.colls[collID].spec.Ranks {
+						h.launchQ[r] = append(h.launchQ[r], collID)
+					}
+					h.launchCond.Broadcast(p.Engine())
+					released++
+					break
+				}
+			}
+		}
+		if released == 0 && (h.idle() || h.WaveGated) {
+			if !h.idle() {
+				// Wave incomplete: sleep until announcements change.
+				if h.allTornDown() {
+					return
+				}
+				h.changed.Wait(p)
+				continue
+			}
+			// Nothing pending: block until announcements change
+			// rather than ticking forever.
+			if h.allTornDown() {
+				return
+			}
+			h.changed.Wait(p)
+		}
+	}
+}
+
+// waveComplete reports whether every registered collective has been
+// announced at least wave+1 times on each of its ranks — the whole
+// training step's negotiation has arrived.
+func (h *Horovod) waveComplete(wave int) bool {
+	for collID, c := range h.colls {
+		for _, r := range c.spec.Ranks {
+			if h.announced[collID][r] <= wave {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// idle reports no queued-but-unreleased announcements.
+func (h *Horovod) idle() bool {
+	for collID, byRank := range h.announced {
+		for _, n := range byRank {
+			if n > h.queuedRun[collID] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (h *Horovod) allTornDown() bool {
+	if len(h.tornDown) == 0 {
+		return false
+	}
+	for r := range h.launchersOn {
+		if !h.tornDown[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// launcher launches coordinator-released collectives in broadcast order.
+func (h *Horovod) launcher(p *sim.Process, rank int) {
+	for {
+		for len(h.launchQ[rank]) == 0 {
+			if h.stopped || h.tornDown[rank] {
+				return
+			}
+			h.launchCond.Wait(p)
+		}
+		collID := h.launchQ[rank][0]
+		h.launchQ[rank] = h.launchQ[rank][1:]
+		if err := h.launchNow(p, rank, collID); err != nil {
+			panic(err)
+		}
+		h.colls[collID].doneCond.Broadcast(p.Engine())
+	}
+}
+
+// Wait implements Backend: block until every announced run of collID
+// has been launched on rank, then until the kernel completes.
+func (h *Horovod) Wait(p *sim.Process, rank, collID int) {
+	c := h.colls[collID]
+	for c.launched[rank] < h.announced[collID][rank] {
+		c.doneCond.Wait(p)
+	}
+	h.wait(p, rank, collID)
+}
+
+// WaitAll implements Backend.
+func (h *Horovod) WaitAll(p *sim.Process, rank int) {
+	for _, collID := range h.sortedCollIDs() {
+		if h.announced[collID][rank] > 0 {
+			h.Wait(p, rank, collID)
+		}
+	}
+}
+
+// Teardown implements Backend.
+func (h *Horovod) Teardown(p *sim.Process, rank int) {
+	h.tornDown[rank] = true
+	if h.allTornDown() {
+		h.stopped = true
+	}
+	h.launchCond.Broadcast(p.Engine())
+	h.changed.Broadcast(p.Engine())
+}

@@ -1,0 +1,169 @@
+package orch
+
+import (
+	"fmt"
+
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// KungFu is the negotiated-fixed-order baseline (Sec. 2.5): the
+// predominant collective calling order is determined in the initial
+// training step via gather/broadcast, after which decentralized
+// schedulers enforce that order on every rank. Each enforced launch
+// pays a window-synchronization delay, the source of its Fig. 10 gap.
+type KungFu struct {
+	*ncclBase
+	// NegotiateOnce is the one-time gather/broadcast cost of adopting
+	// the initial order.
+	NegotiateOnce sim.Duration
+	// EnforceDelay is the per-launch decentralized window
+	// synchronization cost.
+	EnforceDelay sim.Duration
+	// WaveGated launches a training step's collectives only once the
+	// rank has announced the whole step's set, modeling the lost
+	// compute-communication overlap of enforced fixed-order launching
+	// (see Horovod.WaveGated).
+	WaveGated bool
+
+	// order is the adopted collective order (rank 0's first-iteration
+	// announcement order).
+	order      []int
+	inOrder    map[int]bool
+	negotiated map[int]bool // rank paid the one-time negotiation cost
+
+	announced map[int]map[int]int // collID -> rank -> runs announced
+	nextIdx   map[int]int         // rank -> position in order (mod len)
+
+	changed     *sim.Cond
+	launchersOn map[int]bool
+	tornDown    map[int]bool
+}
+
+// NewKungFu builds the KungFu-style backend with calibrated defaults.
+func NewKungFu(e *sim.Engine, c *topo.Cluster) *KungFu {
+	return &KungFu{
+		ncclBase:      newNCCLBase(e, c),
+		NegotiateOnce: 2 * sim.Millisecond,
+		EnforceDelay:  4 * sim.Millisecond,
+		WaveGated:     true,
+		inOrder:       make(map[int]bool),
+		negotiated:    make(map[int]bool),
+		announced:     make(map[int]map[int]int),
+		nextIdx:       make(map[int]int),
+		changed:       sim.NewCond("kungfu.changed"),
+		launchersOn:   make(map[int]bool),
+		tornDown:      make(map[int]bool),
+	}
+}
+
+// Name implements Backend.
+func (k *KungFu) Name() string { return "nccl-kungfu" }
+
+// Register implements Backend.
+func (k *KungFu) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	if err := k.register(rank, collID, spec, priority); err != nil {
+		return err
+	}
+	if k.announced[collID] == nil {
+		k.announced[collID] = make(map[int]int)
+	}
+	return nil
+}
+
+// Launch implements Backend: announce readiness. Rank 0's announcement
+// order during the initial step becomes the enforced global order.
+func (k *KungFu) Launch(p *sim.Process, rank, collID int) error {
+	if _, ok := k.colls[collID]; !ok {
+		return fmt.Errorf("orch: collective %d not registered", collID)
+	}
+	if !k.negotiated[rank] {
+		k.negotiated[rank] = true
+		p.Sleep(k.NegotiateOnce)
+	}
+	k.announced[collID][rank]++
+	if rank == 0 && !k.inOrder[collID] {
+		k.inOrder[collID] = true
+		k.order = append(k.order, collID)
+	}
+	if !k.launchersOn[rank] {
+		k.launchersOn[rank] = true
+		rank := rank
+		p.Spawn(fmt.Sprintf("kungfu.launcher.%d", rank), func(lp *sim.Process) {
+			k.launcher(lp, rank)
+		})
+	}
+	k.changed.Broadcast(p.Engine())
+	return nil
+}
+
+// launcher enforces the adopted order on one rank: it launches the
+// collective at the rank's current order position as soon as that
+// collective has been announced locally, paying the enforcement delay.
+func (k *KungFu) launcher(p *sim.Process, rank int) {
+	for {
+		collID, ok := k.nextLaunchable(rank)
+		if !ok {
+			if k.tornDown[rank] {
+				return
+			}
+			k.changed.Wait(p)
+			continue
+		}
+		p.Sleep(k.EnforceDelay)
+		if err := k.launchNow(p, rank, collID); err != nil {
+			panic(err)
+		}
+		k.nextIdx[rank]++
+		k.colls[collID].doneCond.Broadcast(p.Engine())
+		k.changed.Broadcast(p.Engine())
+	}
+}
+
+// nextLaunchable returns the collective at rank's order position if it
+// has a pending announced run (and, when wave-gated, the rank has
+// announced the whole step's set).
+func (k *KungFu) nextLaunchable(rank int) (int, bool) {
+	if len(k.order) == 0 {
+		return 0, false
+	}
+	collID := k.order[k.nextIdx[rank]%len(k.order)]
+	c := k.colls[collID]
+	if k.announced[collID][rank] <= c.launched[rank] {
+		return 0, false
+	}
+	if k.WaveGated {
+		wave := c.launched[rank]
+		for id := range k.colls {
+			if k.announced[id][rank] <= wave {
+				return 0, false
+			}
+		}
+	}
+	return collID, true
+}
+
+// Wait implements Backend.
+func (k *KungFu) Wait(p *sim.Process, rank, collID int) {
+	c := k.colls[collID]
+	for c.launched[rank] < k.announced[collID][rank] {
+		c.doneCond.Wait(p)
+	}
+	k.wait(p, rank, collID)
+}
+
+// WaitAll implements Backend.
+func (k *KungFu) WaitAll(p *sim.Process, rank int) {
+	for _, collID := range k.sortedCollIDs() {
+		if k.announced[collID][rank] > 0 {
+			k.Wait(p, rank, collID)
+		}
+	}
+}
+
+// Teardown implements Backend.
+func (k *KungFu) Teardown(p *sim.Process, rank int) {
+	k.tornDown[rank] = true
+	k.changed.Broadcast(p.Engine())
+}

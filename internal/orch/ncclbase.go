@@ -1,0 +1,139 @@
+package orch
+
+import (
+	"fmt"
+	"sort"
+
+	"dfccl/internal/cudasim"
+	"dfccl/internal/mem"
+	"dfccl/internal/ncclsim"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// ncclBase is the shared machinery of the NCCL-backed orchestrators:
+// one communicator per registered collective (concurrent collectives
+// must not share one), one stream per (rank, collective), synthetic
+// buffers, and completion tracking via kernel handles.
+type ncclBase struct {
+	lib   *ncclsim.Lib
+	colls map[int]*collState
+	comms map[int]*ncclsim.Comm
+	strms map[bufKey]*cudasim.Stream
+	bufs  map[bufKey]bufPair
+	kerns map[bufKey]*cudasim.KernelInstance // most recent launch
+}
+
+func newNCCLBase(e *sim.Engine, c *topo.Cluster) *ncclBase {
+	return &ncclBase{
+		lib:   ncclsim.New(e, c),
+		colls: make(map[int]*collState),
+		comms: make(map[int]*ncclsim.Comm),
+		strms: make(map[bufKey]*cudasim.Stream),
+		bufs:  make(map[bufKey]bufPair),
+		kerns: make(map[bufKey]*cudasim.KernelInstance),
+	}
+}
+
+func (b *ncclBase) register(rank, collID int, spec prim.Spec, priority int) error {
+	if err := validateRegister(b.colls, collID, spec); err != nil {
+		return err
+	}
+	if _, ok := b.colls[collID]; !ok {
+		b.colls[collID] = newCollState(spec, priority)
+		b.comms[collID] = b.lib.NewComm(spec.Ranks)
+	}
+	key := bufKey{rank, collID}
+	b.strms[key] = b.lib.Device(rank).NewStream()
+	sendCount, recvCount := prim.BufferCounts(spec)
+	if spec.TimingOnly {
+		sendCount, recvCount = 0, 0
+	}
+	b.bufs[key] = bufPair{
+		send: mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount),
+		recv: mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount),
+	}
+	return nil
+}
+
+// launchNow enqueues the collective kernel for rank on its stream. Runs
+// of one collective serialize through the per-(rank,coll) stream.
+func (b *ncclBase) launchNow(p *sim.Process, rank, collID int) error {
+	c, ok := b.colls[collID]
+	if !ok {
+		return fmt.Errorf("orch: collective %d not registered", collID)
+	}
+	key := bufKey{rank, collID}
+	bufs := b.bufs[key]
+	k := b.comms[collID].Launch(p, b.strms[key], rank, c.spec, bufs.send, bufs.recv)
+	b.kerns[key] = k
+	c.launched[rank]++
+	// Completion is observed lazily via the kernel handle in wait().
+	return nil
+}
+
+func (b *ncclBase) wait(p *sim.Process, rank, collID int) {
+	key := bufKey{rank, collID}
+	if k := b.kerns[key]; k != nil {
+		k.Wait(p)
+		c := b.colls[collID]
+		c.done[rank] = c.launched[rank]
+	}
+}
+
+func (b *ncclBase) waitAll(p *sim.Process, rank int) {
+	for _, collID := range b.sortedCollIDs() {
+		if b.colls[collID].launched[rank] > 0 {
+			b.wait(p, rank, collID)
+		}
+	}
+}
+
+// sortedCollIDs returns registered collective IDs in ascending order,
+// keeping wait sequences (and thus the whole simulation) deterministic.
+func (b *ncclBase) sortedCollIDs() []int {
+	ids := make([]int, 0, len(b.colls))
+	for id := range b.colls {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// StaticSort is the OneFlow-style baseline: the framework compiler
+// sorts collectives topologically, and every rank launches them
+// immediately in that (identical) order at runtime — no runtime
+// negotiation, no extra overhead, but only applicable when the
+// framework can statically plan all collectives.
+type StaticSort struct {
+	*ncclBase
+}
+
+// NewStaticSort builds the static-sorting NCCL backend.
+func NewStaticSort(e *sim.Engine, c *topo.Cluster) *StaticSort {
+	return &StaticSort{ncclBase: newNCCLBase(e, c)}
+}
+
+// Name implements Backend.
+func (s *StaticSort) Name() string { return "nccl-staticsort" }
+
+// Register implements Backend.
+func (s *StaticSort) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	return s.register(rank, collID, spec, priority)
+}
+
+// Launch implements Backend: launch immediately — the static plan
+// guarantees every rank issues collectives in the same order.
+func (s *StaticSort) Launch(p *sim.Process, rank, collID int) error {
+	return s.launchNow(p, rank, collID)
+}
+
+// Wait implements Backend.
+func (s *StaticSort) Wait(p *sim.Process, rank, collID int) { s.wait(p, rank, collID) }
+
+// WaitAll implements Backend.
+func (s *StaticSort) WaitAll(p *sim.Process, rank int) { s.waitAll(p, rank) }
+
+// Teardown implements Backend.
+func (s *StaticSort) Teardown(p *sim.Process, rank int) {}

@@ -1,0 +1,215 @@
+package orch
+
+import (
+	"testing"
+
+	"dfccl/internal/core"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+func spec2(count int, ranks []int) prim.Spec {
+	return prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float32, Op: mem.Sum, Ranks: ranks, TimingOnly: true}
+}
+
+// driveDP runs iters iterations of nColl collectives per rank through a
+// backend and returns the end time.
+func driveDP(t *testing.T, e *sim.Engine, b Backend, nRanks, nColl, iters int) sim.Time {
+	t.Helper()
+	e.MaxTime = sim.Time(600 * sim.Second)
+	ranks := make([]int, nRanks)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	for rank := 0; rank < nRanks; rank++ {
+		rank := rank
+		e.Spawn("drive", func(p *sim.Process) {
+			for c := 0; c < nColl; c++ {
+				if err := b.Register(p, rank, c, spec2(1024, ranks), 0); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+			}
+			for it := 0; it < iters; it++ {
+				for c := nColl - 1; c >= 0; c-- {
+					p.Sleep(500 * sim.Microsecond) // compute between tensors
+					if err := b.Launch(p, rank, c); err != nil {
+						t.Errorf("launch: %v", err)
+						return
+					}
+				}
+				b.WaitAll(p, rank)
+			}
+			b.Teardown(p, rank)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("%s: %v (blocked: %v)", b.Name(), err, e.BlockedProcesses())
+	}
+	return e.Now()
+}
+
+func TestAllBackendsCompleteDP(t *testing.T) {
+	times := map[string]sim.Time{}
+	for _, name := range []string{"static", "horovod", "kungfu", "byteps", "dfccl"} {
+		e := sim.NewEngine()
+		cluster := topo.Server3090(4)
+		var b Backend
+		switch name {
+		case "static":
+			b = NewStaticSort(e, cluster)
+		case "horovod":
+			b = NewHorovod(e, cluster)
+		case "kungfu":
+			b = NewKungFu(e, cluster)
+		case "byteps":
+			b = NewBytePS(e, cluster)
+		case "dfccl":
+			b = NewDFCCL(e, cluster, core.DefaultConfig())
+		}
+		times[name] = driveDP(t, e, b, 4, 6, 3)
+	}
+	// Coordinated backends pay negotiation/enforcement costs: they
+	// must be slower than the static plan.
+	if times["horovod"] <= times["static"] {
+		t.Errorf("horovod (%v) not slower than static (%v)", times["horovod"], times["static"])
+	}
+	if times["kungfu"] <= times["static"] {
+		t.Errorf("kungfu (%v) not slower than static (%v)", times["kungfu"], times["static"])
+	}
+}
+
+func TestBackendNames(t *testing.T) {
+	e := sim.NewEngine()
+	c := topo.Server3090(2)
+	names := map[string]bool{}
+	for _, b := range []Backend{
+		NewStaticSort(e, c), NewHorovod(e, c), NewKungFu(e, c),
+		NewBytePS(e, c), NewDFCCL(e, c, core.DefaultConfig()),
+	} {
+		if b.Name() == "" || names[b.Name()] {
+			t.Fatalf("duplicate or empty backend name %q", b.Name())
+		}
+		names[b.Name()] = true
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := sim.NewEngine()
+	c := topo.Server3090(2)
+	b := NewStaticSort(e, c)
+	e.Spawn("t", func(p *sim.Process) {
+		if err := b.Register(p, 0, 1, spec2(64, []int{0, 1}), 0); err != nil {
+			t.Errorf("register: %v", err)
+		}
+		// Conflicting re-registration must fail.
+		if err := b.Register(p, 1, 1, spec2(128, []int{0, 1}), 0); err == nil {
+			t.Error("conflicting registration accepted")
+		}
+		// Launch of unknown collective must fail.
+		if err := b.Launch(p, 0, 99); err == nil {
+			t.Error("launch of unregistered collective accepted")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKungFuAdoptsRankZeroOrder(t *testing.T) {
+	e := sim.NewEngine()
+	c := topo.Server3090(2)
+	k := NewKungFu(e, c)
+	k.WaveGated = false
+	e.MaxTime = sim.Time(600 * sim.Second)
+	ranks := []int{0, 1}
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("kf", func(p *sim.Process) {
+			for c := 0; c < 3; c++ {
+				if err := k.Register(p, rank, c, spec2(256, ranks), 0); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+			}
+			// Rank 0 announces 2,0,1; rank 1 announces 1,0,2: the
+			// adopted order must be rank 0's.
+			order := []int{2, 0, 1}
+			if rank == 1 {
+				order = []int{1, 0, 2}
+			}
+			for _, c := range order {
+				if err := k.Launch(p, rank, c); err != nil {
+					t.Errorf("launch: %v", err)
+					return
+				}
+			}
+			k.WaitAll(p, rank)
+			k.Teardown(p, rank)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{2, 0, 1}
+	if len(k.order) != 3 {
+		t.Fatalf("order = %v", k.order)
+	}
+	for i := range want {
+		if k.order[i] != want[i] {
+			t.Fatalf("adopted order = %v, want %v", k.order, want)
+		}
+	}
+}
+
+func TestHorovodWaveGatingDelaysLaunch(t *testing.T) {
+	// With wave gating, no collective launches until every collective
+	// has been announced; completion time must therefore exceed the
+	// announcement span plus all negotiation cycles.
+	e := sim.NewEngine()
+	c := topo.Server3090(2)
+	h := NewHorovod(e, c)
+	end := driveDP(t, e, h, 2, 4, 1)
+	// 4 tensors × 500µs compute ≈ 2ms announcements; 4 cycles × 5ms
+	// negotiation must dominate.
+	if end < sim.Time(4*5*sim.Millisecond) {
+		t.Fatalf("end = %v, expected ≥ 20ms of negotiation", end)
+	}
+}
+
+func TestCommunicatorPerCollective(t *testing.T) {
+	// Two collectives over the same ranks must not share connectors
+	// (concurrent execution would corrupt in-flight chunks).
+	e := sim.NewEngine()
+	c := topo.Server3090(2)
+	b := NewStaticSort(e, c)
+	e.Spawn("t", func(p *sim.Process) {
+		ranks := []int{0, 1}
+		if err := b.Register(p, 0, 1, spec2(64, ranks), 0); err != nil {
+			t.Errorf("register: %v", err)
+		}
+		if err := b.Register(p, 0, 2, spec2(64, ranks), 0); err != nil {
+			t.Errorf("register: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.comms[1] == b.comms[2] {
+		t.Fatal("collectives share a communicator")
+	}
+}
+
+func TestDFCCLBackendStats(t *testing.T) {
+	e := sim.NewEngine()
+	cluster := topo.Server3090(2)
+	d := NewDFCCL(e, cluster, core.DefaultConfig())
+	driveDP(t, e, d, 2, 3, 2)
+	// Stats must be reachable post-run (rank contexts kept).
+	s := d.RankStats(nil, 0)
+	if s.CQEsWritten == 0 {
+		t.Fatalf("stats = %+v, want CQEs written", s)
+	}
+}

@@ -1,0 +1,333 @@
+package prim
+
+import (
+	"fmt"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// ConnectorSlots is the ring-buffer depth of inter-GPU connectors,
+// matching NCCL's NCCL_STEPS pipeline depth.
+const ConnectorSlots = 8
+
+// StepResult is the outcome of attempting one primitive action.
+type StepResult int
+
+const (
+	// Progressed: the primitive completed; the sequence advanced.
+	Progressed StepResult = iota
+	// Stuck: the connector condition was not met within the spin
+	// budget; the collective should be preempted on this GPU.
+	Stuck
+	// Done: the whole sequence (all rounds) has completed.
+	Done
+)
+
+func (r StepResult) String() string {
+	switch r {
+	case Progressed:
+		return "progressed"
+	case Stuck:
+		return "stuck"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("StepResult(%d)", int(r))
+	}
+}
+
+// Executor runs one rank's primitive sequence for one collective. Its
+// exported position fields (Round, Step, Phase) are the dynamic context
+// of Sec. 4.2: saving and restoring them across preemptions resumes the
+// collective exactly where it stopped, without under- or re-transmission.
+type Executor struct {
+	Spec Spec
+	Pos  int // position within Spec.Ranks
+	Seq  *Sequence
+
+	// SendBuf and RecvBuf are the user's local buffers (Fig. 5).
+	SendBuf, RecvBuf *mem.Buffer
+	// Prev receives chunks from ring predecessor; Next sends to the
+	// successor. These are the recv/send connectors of Fig. 5.
+	Prev, Next *mem.Connector
+	// NextPath prices transfers to the ring successor.
+	NextPath topo.Path
+	// ComputeBW prices local reduce/copy work in bytes/second.
+	ComputeBW float64
+
+	// Dynamic context.
+	Round, Step int
+	// Phase is the intra-action position: 0 = nothing done yet,
+	// 1 = send half complete, awaiting recv half.
+	Phase       int
+	Initialized bool
+
+	scratch *mem.Buffer
+
+	// Stats.
+	PrimsExecuted int
+	SpinAborts    int
+}
+
+// NewExecutor builds an executor for the participant at position pos.
+func NewExecutor(spec Spec, pos int, sendBuf, recvBuf *mem.Buffer, prev, next *mem.Connector, nextPath topo.Path, computeBW float64) *Executor {
+	x := &Executor{
+		Spec:      spec,
+		Pos:       pos,
+		Seq:       spec.SequenceFor(pos),
+		SendBuf:   sendBuf,
+		RecvBuf:   recvBuf,
+		Prev:      prev,
+		Next:      next,
+		NextPath:  nextPath,
+		ComputeBW: computeBW,
+	}
+	if x.Seq.useScratch && !spec.TimingOnly {
+		x.scratch = mem.NewBuffer(mem.DeviceSpace, spec.Type, x.Seq.workLen)
+	}
+	return x
+}
+
+// work returns the working buffer the sequence operates on.
+func (x *Executor) work() *mem.Buffer {
+	if x.Seq.useScratch {
+		return x.scratch
+	}
+	return x.RecvBuf
+}
+
+// Reset prepares the executor for a fresh run of the same collective
+// (a new invocation via dfcclRun*), possibly with different buffers —
+// the "static context can change across multiple calls" case.
+func (x *Executor) Reset(sendBuf, recvBuf *mem.Buffer) {
+	x.SendBuf, x.RecvBuf = sendBuf, recvBuf
+	x.Round, x.Step, x.Phase = 0, 0, 0
+	x.Initialized = false
+}
+
+// Finished reports completion of all rounds.
+func (x *Executor) Finished() bool {
+	return x.Initialized && x.Round >= x.Seq.Rounds
+}
+
+func (x *Executor) computeCost(bytes int) sim.Duration {
+	if bytes <= 0 || x.ComputeBW <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(bytes) / x.ComputeBW * 1e9)
+}
+
+// initialize performs the sequence's init copy, charging compute time.
+func (x *Executor) initialize(p *sim.Process) {
+	if x.Spec.TimingOnly {
+		if x.Seq.initCopyOwnSeg != -2 {
+			sendCount, _ := BufferCounts(x.Spec)
+			p.Sleep(x.computeCost(sendCount * x.Spec.Type.Size()))
+		}
+		x.Initialized = true
+		return
+	}
+	switch x.Seq.initCopyOwnSeg {
+	case -2: // no init copy
+	case -1: // whole send buffer into the working buffer
+		dst := x.work().Bytes()
+		src := x.SendBuf.Bytes()
+		if len(dst) != len(src) {
+			panic(fmt.Sprintf("prim: %v init copy size mismatch: work=%d send=%d", x.Spec.Kind, len(dst), len(src)))
+		}
+		p.Sleep(x.computeCost(len(src)))
+		copy(dst, src)
+	default: // own contribution into its working-buffer segment
+		sr := x.Seq.segs[x.Seq.initCopyOwnSeg]
+		dst := x.work().Slice(sr.Lo, sr.Hi)
+		src := x.SendBuf.Bytes()
+		if len(dst) != len(src) {
+			panic(fmt.Sprintf("prim: %v init seg copy size mismatch: seg=%d send=%d", x.Spec.Kind, len(dst), len(src)))
+		}
+		p.Sleep(x.computeCost(len(src)))
+		copy(dst, src)
+	}
+	x.Initialized = true
+}
+
+// finishRound handles the copy-out (reduce-scatter) after the last round.
+func (x *Executor) copyOut(p *sim.Process) {
+	if x.Seq.copyOutSeg < 0 {
+		return
+	}
+	sr := x.Seq.segs[x.Seq.copyOutSeg]
+	if x.Spec.TimingOnly {
+		p.Sleep(x.computeCost(sr.len() * x.Spec.Type.Size()))
+		return
+	}
+	src := x.work().Slice(sr.Lo, sr.Hi)
+	dst := x.RecvBuf.Bytes()
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("prim: copy-out size mismatch: seg=%d recv=%d", len(src), len(dst)))
+	}
+	p.Sleep(x.computeCost(len(src)))
+	copy(dst, src)
+}
+
+// waitCond spins (in simulated terms: waits) until ready() is true or
+// the budget expires. A negative budget means wait forever — the NCCL
+// busy-wait mode. It reports whether the condition was met.
+func waitCond(p *sim.Process, ready func() bool, cond *sim.Cond, budget sim.Duration) bool {
+	if ready() {
+		return true
+	}
+	if budget < 0 {
+		for !ready() {
+			cond.Wait(p)
+		}
+		return true
+	}
+	deadline := p.Now().Add(budget)
+	for !ready() {
+		remaining := deadline.Sub(p.Now())
+		if remaining <= 0 {
+			return false
+		}
+		if cond.WaitTimeout(p, remaining) && !ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// StepOnce attempts the next primitive with the given spin budget
+// (negative = unbounded, NCCL-style). The budget bounds only the
+// busy-wait for connector readiness; once ready, the primitive's data
+// movement runs to completion (two-phase blocking execution).
+func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult {
+	if !x.Initialized {
+		x.initialize(p)
+		if len(x.Seq.Actions) == 0 {
+			// Single-rank collective: init (plus copy-out) is all.
+			x.Round = x.Seq.Rounds
+			x.copyOut(p)
+			return Done
+		}
+	}
+	if x.Finished() {
+		return Done
+	}
+	a := x.Seq.Actions[x.Step]
+	pipelined := a.HasSend() && a.HasRecv() && a.SendSeg == a.RecvSeg
+
+	if pipelined {
+		// recv → process → send: forwarding actions (broadcast chain,
+		// all-gather middle, reduce chain) depend on the incoming chunk.
+		if x.Phase == 0 {
+			if !waitCond(p, x.Prev.CanRead, x.Prev.Readable(), spinBudget) {
+				x.SpinAborts++
+				return Stuck
+			}
+			x.recvHalf(p, a)
+			x.Phase = 1
+		}
+		if !waitCond(p, x.Next.CanWrite, x.Next.Writable(), spinBudget) {
+			x.SpinAborts++
+			return Stuck
+		}
+		x.sendHalf(p, a)
+	} else {
+		// send ∥ recv on distinct segments: send first so rings prime
+		// themselves (classic ring step posts its send before blocking
+		// on its receive).
+		if a.HasSend() && x.Phase == 0 {
+			if !waitCond(p, x.Next.CanWrite, x.Next.Writable(), spinBudget) {
+				x.SpinAborts++
+				return Stuck
+			}
+			x.sendHalf(p, a)
+			x.Phase = 1
+		}
+		if a.HasRecv() {
+			if !waitCond(p, x.Prev.CanRead, x.Prev.Readable(), spinBudget) {
+				x.SpinAborts++
+				return Stuck
+			}
+			x.recvHalf(p, a)
+		}
+	}
+
+	x.PrimsExecuted++
+	x.Phase = 0
+	x.Step++
+	if x.Step >= len(x.Seq.Actions) {
+		x.Step = 0
+		x.Round++
+		if x.Round >= x.Seq.Rounds {
+			x.copyOut(p)
+			return Done
+		}
+	}
+	return Progressed
+}
+
+// sendHalf transmits the current round's slice of the action's send
+// segment, charging serialization and latency on the path.
+func (x *Executor) sendHalf(p *sim.Process, a Action) {
+	sr := x.Seq.roundSlice(a.SendSeg, x.Round)
+	bytes := sr.len() * x.Spec.Type.Size()
+	p.Sleep(sim.Duration(x.NextPath.TransferTime(bytes)))
+	if x.Spec.TimingOnly {
+		x.Next.Write(p.Engine(), nil)
+		return
+	}
+	x.Next.Write(p.Engine(), x.work().Slice(sr.Lo, sr.Hi))
+}
+
+// recvHalf consumes a chunk and reduces or copies it into the action's
+// recv segment, charging compute time.
+func (x *Executor) recvHalf(p *sim.Process, a Action) {
+	chunk := x.Prev.Read(p.Engine())
+	sr := x.Seq.roundSlice(a.RecvSeg, x.Round)
+	if x.Spec.TimingOnly {
+		p.Sleep(x.computeCost(sr.len() * x.Spec.Type.Size()))
+		return
+	}
+	dst := x.work().Slice(sr.Lo, sr.Hi)
+	if len(dst) != len(chunk) {
+		panic(fmt.Sprintf("prim: %v rank-pos %d round %d step %d: chunk %dB vs segment slice %dB",
+			x.Spec.Kind, x.Pos, x.Round, x.Step, len(chunk), len(dst)))
+	}
+	p.Sleep(x.computeCost(len(chunk)))
+	if a.Reduce {
+		mem.Reduce(x.Spec.Op, x.Spec.Type, dst, chunk)
+	} else {
+		copy(dst, chunk)
+	}
+}
+
+// Ring wires the connectors for one collective over a cluster: conn[i]
+// carries chunks from ring position i to position i+1 (mod n).
+type Ring struct {
+	Conns []*mem.Connector
+	Paths []topo.Path // Paths[i] prices position i -> i+1
+}
+
+// BuildRing creates the ring connectors and paths for spec on cluster c.
+func BuildRing(c *topo.Cluster, spec Spec, tag string) *Ring {
+	n := spec.N()
+	r := &Ring{Conns: make([]*mem.Connector, n), Paths: make([]topo.Path, n)}
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		r.Conns[i] = mem.NewConnector(fmt.Sprintf("%s.conn%d->%d", tag, spec.Ranks[i], spec.Ranks[next]), ConnectorSlots)
+		r.Paths[i] = c.PathBetween(spec.Ranks[i], spec.Ranks[next])
+	}
+	return r
+}
+
+// ExecutorFor builds the executor for ring position pos using the
+// ring's wiring and the cluster's GPU compute bandwidth.
+func (r *Ring) ExecutorFor(c *topo.Cluster, spec Spec, pos int, sendBuf, recvBuf *mem.Buffer) *Executor {
+	n := spec.N()
+	prev := r.Conns[mod(pos-1, n)]
+	next := r.Conns[pos]
+	bw := c.GPUs[spec.Ranks[pos]].Model.CopyBandwidth
+	return NewExecutor(spec, pos, sendBuf, recvBuf, prev, next, r.Paths[pos], bw)
+}

@@ -1,0 +1,433 @@
+// Package prim implements GPU collective primitives: the send / recv /
+// reduce / copy actions of Sec. 4.1 of the paper, the Ring-algorithm
+// primitive-sequence generators for the five common collectives
+// (all-reduce, all-gather, reduce-scatter, reduce, broadcast), and a
+// resumable executor whose dynamic state (current chunk round and
+// primitive step) is exactly the "dynamic context" DFCCL saves and
+// restores across preemptions.
+//
+// Primitives move real bytes through mem.Connector ring buffers, so the
+// collectives are functionally correct, and charge virtual time for
+// serialization, latency, and reduction compute, so they are also
+// performance models.
+package prim
+
+import (
+	"fmt"
+
+	"dfccl/internal/mem"
+)
+
+// Kind enumerates the supported collectives.
+type Kind int
+
+const (
+	AllReduce Kind = iota
+	AllGather
+	ReduceScatter
+	Reduce
+	Broadcast
+)
+
+func (k Kind) String() string {
+	switch k {
+	case AllReduce:
+		return "all-reduce"
+	case AllGather:
+		return "all-gather"
+	case ReduceScatter:
+		return "reduce-scatter"
+	case Reduce:
+		return "reduce"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DefaultChunkElems is the Simple-protocol chunk granularity in elements
+// (128 KiB of float32, matching NCCL's default slice sizing closely
+// enough for curve shapes).
+const DefaultChunkElems = 32768
+
+// Spec describes one collective operation on a set of ranks.
+//
+// Count semantics follow NCCL: for AllReduce, Reduce, and Broadcast it
+// is the total element count of the buffer; for AllGather it is the
+// per-rank contribution (recv buffer holds Count×N); for ReduceScatter
+// it is the total send-buffer count (recv buffer holds Count/N).
+type Spec struct {
+	Kind  Kind
+	Count int
+	Type  mem.DataType
+	Op    mem.ReduceOp
+	// Root is the index *within Ranks* of the root for Reduce/Broadcast.
+	Root int
+	// Ranks lists the participating global ranks; ring order follows
+	// slice order.
+	Ranks []int
+	// ChunkElems is the chunk granularity; zero selects the default.
+	ChunkElems int
+	// TimingOnly runs the collective as a pure performance model: all
+	// scheduling, connector flow control, and time charging behave
+	// identically, but no bytes are allocated, moved, or reduced.
+	// Training-scale simulations use it to avoid copying gigabytes of
+	// gradient data per simulated iteration.
+	TimingOnly bool
+}
+
+func (s Spec) chunk() int {
+	if s.ChunkElems > 0 {
+		return s.ChunkElems
+	}
+	return DefaultChunkElems
+}
+
+// N returns the number of participants.
+func (s Spec) N() int { return len(s.Ranks) }
+
+// Bytes returns the semantic payload size of the operation.
+func (s Spec) Bytes() int { return s.Count * s.Type.Size() }
+
+// Validate checks structural invariants.
+func (s Spec) Validate() error {
+	if len(s.Ranks) == 0 {
+		return fmt.Errorf("prim: spec has no ranks")
+	}
+	if s.Count < 0 {
+		return fmt.Errorf("prim: negative count %d", s.Count)
+	}
+	if s.Root < 0 || s.Root >= len(s.Ranks) {
+		if s.Kind == Reduce || s.Kind == Broadcast {
+			return fmt.Errorf("prim: root %d out of range for %d ranks", s.Root, len(s.Ranks))
+		}
+	}
+	seen := make(map[int]struct{}, len(s.Ranks))
+	for _, r := range s.Ranks {
+		if _, dup := seen[r]; dup {
+			return fmt.Errorf("prim: duplicate rank %d", r)
+		}
+		seen[r] = struct{}{}
+	}
+	return nil
+}
+
+// Action is one primitive: a fused subset of {send, recv, reduce, copy}.
+// SendSeg / RecvSeg name the working-buffer segment the action touches;
+// -1 means the action has no send (or recv) half. When Reduce is false a
+// received chunk overwrites the segment slice (copy); when true it is
+// reduced into it.
+type Action struct {
+	SendSeg int
+	RecvSeg int
+	Reduce  bool
+}
+
+// HasSend reports whether the action writes to the send connector.
+func (a Action) HasSend() bool { return a.SendSeg >= 0 }
+
+// HasRecv reports whether the action reads from the recv connector.
+func (a Action) HasRecv() bool { return a.RecvSeg >= 0 }
+
+func (a Action) String() string {
+	switch {
+	case a.HasRecv() && a.HasSend() && a.Reduce:
+		return fmt.Sprintf("recvReduceSend(seg %d->%d)", a.RecvSeg, a.SendSeg)
+	case a.HasRecv() && a.HasSend():
+		return fmt.Sprintf("recvCopySend(seg %d->%d)", a.RecvSeg, a.SendSeg)
+	case a.HasRecv() && a.Reduce:
+		return fmt.Sprintf("recvReduce(seg %d)", a.RecvSeg)
+	case a.HasRecv():
+		return fmt.Sprintf("recvCopy(seg %d)", a.RecvSeg)
+	case a.HasSend():
+		return fmt.Sprintf("send(seg %d)", a.SendSeg)
+	default:
+		return "nop"
+	}
+}
+
+// segRange is an element range [Lo, Hi) within the working buffer.
+type segRange struct{ Lo, Hi int }
+
+func (r segRange) len() int { return r.Hi - r.Lo }
+
+// Sequence is the per-rank execution plan for one collective: the
+// primitive actions of one chunk round, the working-buffer segment
+// layout, and the number of chunk rounds needed to cover the data.
+type Sequence struct {
+	Actions []Action
+	segs    []segRange
+	// Rounds is how many times the action list runs (once per chunk).
+	Rounds int
+	// chunkElems is the per-round slice width within each segment.
+	chunkElems int
+	// workLen is the element length of the working buffer.
+	workLen int
+	// initCopyOwnSeg: at init, copy the send buffer into segs[seg] of
+	// the working buffer (-2 = no init copy, -1 = whole buffer).
+	initCopyOwnSeg int
+	// useScratch: the working buffer is an internal scratch area rather
+	// than the user's recv buffer.
+	useScratch bool
+	// copyOutSeg: after the final round, copy segs[copyOutSeg] of the
+	// working buffer into the recv buffer (-1 = none).
+	copyOutSeg int
+}
+
+// NumPrimitives returns the total primitive count across all rounds,
+// the quantity the paper's preemption analysis counts.
+func (s *Sequence) NumPrimitives() int { return len(s.Actions) * s.Rounds }
+
+// roundSlice returns the element range of segment seg covered in round c
+// relative to the working buffer, clipped to the segment.
+func (s *Sequence) roundSlice(seg, c int) segRange {
+	sr := s.segs[seg]
+	lo := sr.Lo + c*s.chunkElems
+	hi := lo + s.chunkElems
+	if lo > sr.Hi {
+		lo = sr.Hi
+	}
+	if hi > sr.Hi {
+		hi = sr.Hi
+	}
+	return segRange{Lo: lo, Hi: hi}
+}
+
+// evenSegs splits count elements into n contiguous near-equal segments.
+func evenSegs(count, n int) []segRange {
+	segs := make([]segRange, n)
+	base := count / n
+	rem := count % n
+	lo := 0
+	for i := 0; i < n; i++ {
+		l := base
+		if i < rem {
+			l++
+		}
+		segs[i] = segRange{Lo: lo, Hi: lo + l}
+		lo += l
+	}
+	return segs
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("prim: ceilDiv by non-positive")
+	}
+	if a <= 0 {
+		return 1 // at least one round, even for empty payloads
+	}
+	return (a + b - 1) / b
+}
+
+func mod(a, n int) int { return ((a % n) + n) % n }
+
+// SequenceFor builds the primitive sequence for the participant at
+// position pos within s.Ranks, using the Ring algorithm and Simple
+// protocol (the configuration the paper evaluates).
+func (s Spec) SequenceFor(pos int) *Sequence {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if pos < 0 || pos >= s.N() {
+		panic(fmt.Sprintf("prim: position %d out of range (n=%d)", pos, s.N()))
+	}
+	n := s.N()
+	switch s.Kind {
+	case AllReduce:
+		return s.allReduceSeq(pos, n)
+	case AllGather:
+		return s.allGatherSeq(pos, n)
+	case ReduceScatter:
+		return s.reduceScatterSeq(pos, n)
+	case Broadcast:
+		return s.broadcastSeq(pos, n)
+	case Reduce:
+		return s.reduceSeq(pos, n)
+	default:
+		panic(fmt.Sprintf("prim: unknown kind %v", s.Kind))
+	}
+}
+
+func (s Spec) allReduceSeq(pos, n int) *Sequence {
+	segs := evenSegs(s.Count, n)
+	seq := &Sequence{
+		segs:           segs,
+		chunkElems:     s.chunk(),
+		workLen:        s.Count,
+		initCopyOwnSeg: -1, // copy whole send buffer into recv buffer
+		copyOutSeg:     -1,
+	}
+	maxSeg := 0
+	for _, sr := range segs {
+		if sr.len() > maxSeg {
+			maxSeg = sr.len()
+		}
+	}
+	seq.Rounds = ceilDiv(maxSeg, seq.chunkElems)
+	if n == 1 {
+		return seq
+	}
+	// Reduce-scatter phase: step s sends seg (pos-s), receives and
+	// reduces seg (pos-s-1).
+	for st := 0; st < n-1; st++ {
+		seq.Actions = append(seq.Actions, Action{
+			SendSeg: mod(pos-st, n),
+			RecvSeg: mod(pos-st-1, n),
+			Reduce:  true,
+		})
+	}
+	// All-gather phase: step s sends seg (pos+1-s), receives seg (pos-s).
+	for st := 0; st < n-1; st++ {
+		seq.Actions = append(seq.Actions, Action{
+			SendSeg: mod(pos+1-st, n),
+			RecvSeg: mod(pos-st, n),
+			Reduce:  false,
+		})
+	}
+	return seq
+}
+
+func (s Spec) allGatherSeq(pos, n int) *Sequence {
+	total := s.Count * n
+	segs := evenSegsFixed(s.Count, n)
+	seq := &Sequence{
+		segs:           segs,
+		chunkElems:     s.chunk(),
+		workLen:        total,
+		initCopyOwnSeg: pos,
+		copyOutSeg:     -1,
+	}
+	seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
+	if n == 1 {
+		return seq
+	}
+	// Ring all-gather: step 0 sends the rank's own segment; steps
+	// 1..n-2 receive segment (pos-st) and forward it; step n-1
+	// receives the final segment without forwarding.
+	seq.Actions = append(seq.Actions, Action{SendSeg: pos, RecvSeg: -1})
+	for st := 1; st <= n-1; st++ {
+		a := Action{RecvSeg: mod(pos-st, n), SendSeg: mod(pos-st, n)}
+		if st == n-1 {
+			a.SendSeg = -1
+		}
+		seq.Actions = append(seq.Actions, a)
+	}
+	return seq
+}
+
+// evenSegsFixed builds n segments of exactly per elements each (used
+// when every rank contributes the same count, as in all-gather).
+func evenSegsFixed(per, n int) []segRange {
+	segs := make([]segRange, n)
+	for i := 0; i < n; i++ {
+		segs[i] = segRange{Lo: i * per, Hi: (i + 1) * per}
+	}
+	return segs
+}
+
+func (s Spec) reduceScatterSeq(pos, n int) *Sequence {
+	segs := evenSegs(s.Count, n)
+	seq := &Sequence{
+		segs:           segs,
+		chunkElems:     s.chunk(),
+		workLen:        s.Count,
+		initCopyOwnSeg: -1,
+		useScratch:     true,
+		copyOutSeg:     pos,
+	}
+	maxSeg := 0
+	for _, sr := range segs {
+		if sr.len() > maxSeg {
+			maxSeg = sr.len()
+		}
+	}
+	seq.Rounds = ceilDiv(maxSeg, seq.chunkElems)
+	if n == 1 {
+		return seq
+	}
+	// Indices are shifted one position relative to the all-reduce
+	// reduce-scatter phase so rank r finishes holding seg[r], matching
+	// NCCL's reduce-scatter output placement.
+	for st := 0; st < n-1; st++ {
+		seq.Actions = append(seq.Actions, Action{
+			SendSeg: mod(pos-st-1, n),
+			RecvSeg: mod(pos-st-2, n),
+			Reduce:  true,
+		})
+	}
+	return seq
+}
+
+// BufferCounts returns the required send/recv buffer element counts for
+// a spec, following NCCL buffer-size conventions: all-gather's recv
+// buffer holds Count×N, reduce-scatter's holds Count/N.
+func BufferCounts(s Spec) (sendCount, recvCount int) {
+	switch s.Kind {
+	case AllReduce, Broadcast, Reduce:
+		return s.Count, s.Count
+	case AllGather:
+		return s.Count, s.Count * s.N()
+	case ReduceScatter:
+		return s.Count, s.Count / s.N()
+	default:
+		panic(fmt.Sprintf("prim: unknown kind %v", s.Kind))
+	}
+}
+
+func (s Spec) broadcastSeq(pos, n int) *Sequence {
+	seq := &Sequence{
+		segs:       []segRange{{Lo: 0, Hi: s.Count}},
+		chunkElems: s.chunk(),
+		workLen:    s.Count,
+		copyOutSeg: -1,
+	}
+	seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
+	chainPos := mod(pos-s.Root, n)
+	if chainPos == 0 {
+		seq.initCopyOwnSeg = -1 // root copies its send buffer
+	} else {
+		seq.initCopyOwnSeg = -2
+	}
+	if n == 1 {
+		return seq
+	}
+	switch {
+	case chainPos == 0:
+		seq.Actions = append(seq.Actions, Action{SendSeg: 0, RecvSeg: -1})
+	case chainPos == n-1:
+		seq.Actions = append(seq.Actions, Action{SendSeg: -1, RecvSeg: 0})
+	default:
+		seq.Actions = append(seq.Actions, Action{SendSeg: 0, RecvSeg: 0})
+	}
+	return seq
+}
+
+func (s Spec) reduceSeq(pos, n int) *Sequence {
+	seq := &Sequence{
+		segs:       []segRange{{Lo: 0, Hi: s.Count}},
+		chunkElems: s.chunk(),
+		workLen:    s.Count,
+		copyOutSeg: -1,
+	}
+	seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
+	chainPos := mod(pos-s.Root-1, n) // root+1 first, root last
+	isRoot := pos == s.Root
+	seq.initCopyOwnSeg = -1 // everyone starts from its own send data
+	if !isRoot {
+		seq.useScratch = true
+	}
+	if n == 1 {
+		return seq
+	}
+	switch {
+	case chainPos == 0: // first in chain (root+1)
+		seq.Actions = append(seq.Actions, Action{SendSeg: 0, RecvSeg: -1})
+	case isRoot:
+		seq.Actions = append(seq.Actions, Action{SendSeg: -1, RecvSeg: 0, Reduce: true})
+	default:
+		seq.Actions = append(seq.Actions, Action{SendSeg: 0, RecvSeg: 0, Reduce: true})
+	}
+	return seq
+}

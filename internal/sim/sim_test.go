@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("sleeper", func(p *Process) {
+		p.Sleep(5 * Microsecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != Time(5*Microsecond) {
+		t.Fatalf("end = %v, want 5us", end)
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, spec := range []struct {
+			name string
+			d    Duration
+		}{{"a", 3}, {"b", 1}, {"c", 2}, {"d", 1}} {
+			spec := spec
+			e.Spawn(spec.name, func(p *Process) {
+				p.Sleep(spec.d)
+				order = append(order, spec.name)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	first := run()
+	want := []string{"b", "d", "c", "a"} // ties broken by spawn order
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got := run()
+		for j := range want {
+			if got[j] != first[j] {
+				t.Fatalf("run %d diverged: %v vs %v", i, got, first)
+			}
+		}
+	}
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("c")
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			c.Wait(p)
+			woke = append(woke, name)
+		})
+	}
+	e.Spawn("signaler", func(p *Process) {
+		p.Sleep(10)
+		c.Signal(p.engine)
+		p.Sleep(10)
+		c.Broadcast(p.engine)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(woke) != 3 || woke[0] != "w1" {
+		t.Fatalf("woke = %v, want w1 first then all", woke)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("never")
+	var timedOut bool
+	var at Time
+	e.Spawn("waiter", func(p *Process) {
+		timedOut = c.WaitTimeout(p, 7*Microsecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+	if at != Time(7*Microsecond) {
+		t.Fatalf("woke at %v, want 7us", at)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("stale waiter left on cond: %d", c.Waiters())
+	}
+}
+
+func TestTimeoutCancelledBySignal(t *testing.T) {
+	e := NewEngine()
+	c := NewCond("c")
+	var timedOut bool
+	var wakes int
+	e.Spawn("waiter", func(p *Process) {
+		timedOut = c.WaitTimeout(p, 100*Microsecond)
+		wakes++
+		// Sleep past the original timeout to ensure the stale timer
+		// does not wake us again.
+		p.Sleep(200 * Microsecond)
+	})
+	e.Spawn("signaler", func(p *Process) {
+		p.Sleep(1 * Microsecond)
+		c.Signal(p.engine)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if timedOut {
+		t.Fatal("signalled wait reported timeout")
+	}
+	if wakes != 1 {
+		t.Fatalf("wakes = %d, want 1", wakes)
+	}
+}
+
+func TestGlobalDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	a := NewCond("a")
+	b := NewCond("b")
+	e.Spawn("p1", func(p *Process) {
+		a.Wait(p)
+		b.Signal(p.engine)
+	})
+	e.Spawn("p2", func(p *Process) {
+		b.Wait(p)
+		a.Signal(p.engine)
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if n := len(e.BlockedProcesses()); n != 2 {
+		t.Fatalf("blocked = %d, want 2", n)
+	}
+}
+
+func TestNoDeadlockWithTimedWaiter(t *testing.T) {
+	e := NewEngine()
+	a := NewCond("a")
+	e.Spawn("p1", func(p *Process) {
+		a.Wait(p)
+	})
+	e.Spawn("p2", func(p *Process) {
+		if !a.WaitTimeout(p, 5) {
+			t.Error("expected timeout")
+		}
+		a.Signal(p.engine)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	e := NewEngine()
+	e.MaxTime = Time(1 * Millisecond)
+	e.Spawn("long", func(p *Process) {
+		for {
+			p.Sleep(100 * Microsecond)
+		}
+	})
+	if err := e.Run(); !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Process) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil || errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := NewEngine()
+	var childRan bool
+	e.Spawn("parent", func(p *Process) {
+		p.Spawn("child", func(c *Process) {
+			c.Sleep(3)
+			childRan = true
+		})
+		p.Sleep(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !childRan {
+		t.Fatal("child did not run")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of sleep durations, processes complete in
+// nondecreasing order of their total sleep time, and the final clock
+// equals the maximum.
+func TestSleepOrderingProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		if len(ds) > 64 {
+			ds = ds[:64]
+		}
+		e := NewEngine()
+		type rec struct {
+			d   Duration
+			end Time
+		}
+		recs := make([]rec, len(ds))
+		var max Duration
+		for i, d := range ds {
+			i := i
+			dur := Duration(d)
+			if dur > max {
+				max = dur
+			}
+			e.Spawn("p", func(p *Process) {
+				p.Sleep(dur)
+				recs[i] = rec{d: dur, end: p.Now()}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if e.Now() != Time(max) {
+			return false
+		}
+		for _, r := range recs {
+			if r.end != Time(r.d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterShape(t *testing.T) {
+	c := MultiNode3090(2)
+	if c.Size() != 16 {
+		t.Fatalf("size = %d, want 16", c.Size())
+	}
+	if len(c.Machines) != 2 {
+		t.Fatalf("machines = %d, want 2", len(c.Machines))
+	}
+	// GPU 3 and 4 on the same machine are in different PIX domains.
+	if c.GPUs[3].Domain == c.GPUs[4].Domain {
+		t.Fatal("GPU 3 and 4 should be in different domains")
+	}
+	if c.GPUs[0].Domain != c.GPUs[3].Domain {
+		t.Fatal("GPU 0 and 3 should share a domain")
+	}
+	if c.GPUs[7].Machine != 0 || c.GPUs[8].Machine != 1 {
+		t.Fatal("machine boundary should be between ranks 7 and 8")
+	}
+}
+
+func TestPathTransportSelection(t *testing.T) {
+	c := MultiNode3090(2)
+	cases := []struct {
+		a, b int
+		want Transport
+	}{
+		{0, 0, TransportLocal},
+		{0, 1, TransportSHM},
+		{0, 4, TransportSHM},
+		{0, 8, TransportRDMA},
+		{7, 15, TransportRDMA},
+	}
+	for _, tc := range cases {
+		if got := c.PathBetween(tc.a, tc.b).Transport; got != tc.want {
+			t.Errorf("PathBetween(%d,%d).Transport = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCrossDomainSlowerThanSameDomain(t *testing.T) {
+	c := Server3090(8)
+	same := c.PathBetween(0, 1)
+	cross := c.PathBetween(0, 4)
+	if same.Bandwidth <= cross.Bandwidth {
+		t.Fatal("same-domain bandwidth should exceed cross-domain")
+	}
+	if same.Latency >= cross.Latency {
+		t.Fatal("same-domain latency should be below cross-domain")
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	p := Path{Transport: TransportSHM, Bandwidth: 20e9, Latency: 1500}
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<26)), int(b%(1<<26))
+		if x > y {
+			x, y = y, x
+		}
+		return p.TransferTime(x) <= p.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTimeLatencyFloor(t *testing.T) {
+	p := DefaultLinks
+	path := Path{Transport: TransportRDMA, Bandwidth: p.RDMABW, Latency: p.RDMALat}
+	if got := path.TransferTime(0); got != p.RDMALat {
+		t.Fatalf("zero-byte transfer = %d, want latency %d", got, p.RDMALat)
+	}
+	// 1 GB at 6.2 GB/s should be roughly 161 ms.
+	ms := path.TransferTime(1 << 30)
+	if ms < 150e6 || ms > 180e6 {
+		t.Fatalf("1GB transfer = %dns, want ~161ms", ms)
+	}
+}
+
+func TestServerConstructors(t *testing.T) {
+	if got := Server3080Ti(8).GPUs[0].Model.Name; got != "RTX3080Ti" {
+		t.Fatalf("model = %q", got)
+	}
+	if got := Server3090(4).Size(); got != 4 {
+		t.Fatalf("size = %d, want 4", got)
+	}
+}
+
+func TestPathBetweenPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Server3090(2).PathBetween(0, 5)
+}

@@ -1,0 +1,159 @@
+// Package trace records daemon-kernel scheduling events (fetch,
+// schedule, preempt, complete, voluntary quit) on the virtual timeline
+// and exports them in the Chrome trace-event JSON format, so a DFCCL
+// run can be inspected in chrome://tracing or Perfetto. Tracing is
+// opt-in via core.Config.Tracer and costs nothing when disabled.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dfccl/internal/sim"
+)
+
+// Kind classifies a daemon event.
+type Kind int
+
+const (
+	// EvFetch: an SQE was fetched into the task queue.
+	EvFetch Kind = iota
+	// EvExecute: a collective was scheduled and began executing.
+	EvExecute
+	// EvPreempt: the collective exhausted a spin threshold and was
+	// context-switched out.
+	EvPreempt
+	// EvComplete: the collective's run finished and a CQE was written.
+	EvComplete
+	// EvQuit: the daemon kernel voluntarily quit.
+	EvQuit
+	// EvStart: the daemon kernel (re)started.
+	EvStart
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvFetch:
+		return "fetch"
+	case EvExecute:
+		return "execute"
+	case EvPreempt:
+		return "preempt"
+	case EvComplete:
+		return "complete"
+	case EvQuit:
+		return "quit"
+	case EvStart:
+		return "start"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	GPU  int
+	Coll int // -1 for daemon-level events
+	Kind Kind
+}
+
+// Recorder accumulates events. It satisfies the core package's Tracer
+// interface. The zero value is ready to use.
+type Recorder struct {
+	Events []Event
+}
+
+// Record implements the Tracer hook.
+func (r *Recorder) Record(at sim.Time, gpu, coll int, kind int) {
+	r.Events = append(r.Events, Event{At: at, GPU: gpu, Coll: coll, Kind: Kind(kind)})
+}
+
+// CountByKind tallies events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Spans reconstructs per-collective execution spans on each GPU: an
+// EvExecute opens a span, the next EvPreempt or EvComplete of the same
+// (gpu, coll) closes it.
+func (r *Recorder) Spans() []Span {
+	open := make(map[[2]int]sim.Time)
+	var spans []Span
+	for _, e := range r.Events {
+		key := [2]int{e.GPU, e.Coll}
+		switch e.Kind {
+		case EvExecute:
+			open[key] = e.At
+		case EvPreempt, EvComplete:
+			if start, ok := open[key]; ok {
+				spans = append(spans, Span{
+					GPU: e.GPU, Coll: e.Coll,
+					Start: start, End: e.At,
+					Completed: e.Kind == EvComplete,
+				})
+				delete(open, key)
+			}
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].GPU < spans[j].GPU
+	})
+	return spans
+}
+
+// Span is one contiguous execution of a collective on a GPU.
+type Span struct {
+	GPU, Coll  int
+	Start, End sim.Time
+	Completed  bool
+}
+
+// chromeEvent is the trace-event JSON schema (subset).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds (complete events)
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the recorded run as a Chrome trace-event
+// JSON array: one "process" per GPU, execution spans as complete
+// events, and instantaneous daemon events as instants.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	for _, s := range r.Spans() {
+		name := fmt.Sprintf("coll %d", s.Coll)
+		if !s.Completed {
+			name += " (preempted)"
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Cat: "collective", Ph: "X",
+			TS:  float64(s.Start) / 1000,
+			Dur: float64(s.End-s.Start) / 1000,
+			PID: s.GPU, TID: s.Coll,
+		})
+	}
+	for _, e := range r.Events {
+		if e.Kind == EvQuit || e.Kind == EvStart {
+			evs = append(evs, chromeEvent{
+				Name: "daemon " + e.Kind.String(), Cat: "daemon", Ph: "i",
+				TS: float64(e.At) / 1000, PID: e.GPU, TID: 0,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dfccl/internal/core"
+	"dfccl/internal/mem"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// runTraced executes a small disordered DFCCL workload with a recorder
+// attached and returns it.
+func runTraced(t *testing.T) *Recorder {
+	t.Helper()
+	rec := &Recorder{}
+	cfg := core.DefaultConfig()
+	cfg.Tracer = rec
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := core.NewSystem(e, topo.Server3090(2), cfg)
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("app", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			for c := 0; c < 2; c++ {
+				if err := rc.RegisterAllReduce(c, 1024, mem.Float32, mem.Sum, []int{0, 1}, 0); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+			}
+			order := []int{0, 1}
+			if rank == 1 {
+				order = []int{1, 0} // disorder forces preemptions
+				// Arrive late so rank 0's daemon exhausts its spin
+				// thresholds and must preempt.
+				p.Sleep(2 * sim.Millisecond)
+			}
+			for _, c := range order {
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 1024)
+				d := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 1024)
+				if err := rc.Run(p, c, s, d, nil); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+			rc.WaitAll(p)
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec := runTraced(t)
+	counts := rec.CountByKind()
+	if counts[EvStart] == 0 {
+		t.Fatal("no daemon start events")
+	}
+	if counts[EvFetch] != 4 { // 2 collectives × 2 GPUs
+		t.Fatalf("fetch events = %d, want 4", counts[EvFetch])
+	}
+	if counts[EvComplete] != 4 {
+		t.Fatalf("complete events = %d, want 4", counts[EvComplete])
+	}
+	if counts[EvExecute] < counts[EvComplete] {
+		t.Fatal("fewer execute events than completions")
+	}
+	if counts[EvPreempt] == 0 {
+		t.Fatal("disordered workload produced no preemption events")
+	}
+	// Events must be timestamp-ordered (recorded from one virtual clock).
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].At < rec.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestSpansWellFormed(t *testing.T) {
+	rec := runTraced(t)
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans reconstructed")
+	}
+	completed := 0
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("negative span: %+v", s)
+		}
+		if s.Completed {
+			completed++
+		}
+	}
+	if completed != 4 {
+		t.Fatalf("completed spans = %d, want 4", completed)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	rec := runTraced(t)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty trace")
+	}
+	phases := map[string]bool{}
+	for _, e := range evs {
+		for _, field := range []string{"name", "ph", "ts", "pid"} {
+			if _, ok := e[field]; !ok {
+				t.Fatalf("event missing %q: %v", field, e)
+			}
+		}
+		phases[e["ph"].(string)] = true
+	}
+	if !phases["X"] || !phases["i"] {
+		t.Fatalf("expected complete (X) and instant (i) events, got %v", phases)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EvFetch: "fetch", EvExecute: "execute", EvPreempt: "preempt",
+		EvComplete: "complete", EvQuit: "quit", EvStart: "start",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// Compile-time check: the recorder satisfies core's Tracer interface
+// and the kind constants line up.
+var _ core.Tracer = (*Recorder)(nil)
+
+func TestKindConstantsAligned(t *testing.T) {
+	pairs := [][2]int{
+		{int(EvFetch), core.TraceFetch},
+		{int(EvExecute), core.TraceExecute},
+		{int(EvPreempt), core.TracePreempt},
+		{int(EvComplete), core.TraceComplete},
+		{int(EvQuit), core.TraceQuit},
+		{int(EvStart), core.TraceStart},
+	}
+	for _, pr := range pairs {
+		if pr[0] != pr[1] {
+			t.Fatalf("kind constants diverged: %v", pairs)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package train
+
+import (
+	"fmt"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/metrics"
+	"dfccl/internal/orch"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// OptimizerTime is the per-iteration optimizer step cost.
+const OptimizerTime = 20 * sim.Millisecond
+
+// Result carries a training run's measurements.
+type Result struct {
+	Backend string
+	// Throughput is average samples/second over all iterations.
+	Throughput float64
+	// IterTimes records rank-0 per-iteration wall times in seconds.
+	IterTimes *metrics.Series
+	// Elapsed is the total virtual time.
+	Elapsed sim.Duration
+}
+
+// RunningThroughput returns the Fig. 12 metric: element i is the mean
+// throughput over iterations 0..i.
+func (r *Result) RunningThroughput(samplesPerIter int) []float64 {
+	out := make([]float64, r.IterTimes.Len())
+	sum := 0.0
+	for i, t := range r.IterTimes.Samples {
+		sum += t
+		out[i] = float64(samplesPerIter) * float64(i+1) / sum
+	}
+	return out
+}
+
+// DPConfig configures a data-parallel training run (Fig. 10, Fig. 11,
+// Fig. 12(a)).
+type DPConfig struct {
+	Model       Model
+	BatchPerGPU int
+	Iterations  int
+	// Priority registers gradients with DFCCL priorities so collectives
+	// arriving later (shallower layers, needed first next iteration)
+	// preempt deeper ones — the paper's practical priority scheme.
+	Priority bool
+	// Disorder shuffles each rank's gradient launch order per iteration
+	// (only safe with DFCCL; used to demonstrate order independence).
+	Disorder func(rank, iter int, order []int)
+	// StragglerRank, when StragglerDelay > 0, delays that rank's
+	// collective launches — the burst scenario of the paper's Fig. 11
+	// case study ("GPU 2 slightly delays issuing collectives").
+	StragglerRank  int
+	StragglerDelay sim.Duration
+}
+
+// RunDP trains the model with data parallelism across all GPUs of the
+// cluster using the given backend, and returns throughput results.
+func RunDP(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg DPConfig) (*Result, error) {
+	n := cluster.Size()
+	if cfg.Iterations <= 0 || cfg.BatchPerGPU <= 0 {
+		return nil, fmt.Errorf("train: bad DP config %+v", cfg)
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	res := &Result{Backend: b.Name(), IterTimes: &metrics.Series{Name: b.Name()}}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn(fmt.Sprintf("train.dp.rank%d", rank), func(p *sim.Process) {
+			speed := SpeedFactor(cluster.GPUs[rank].Model)
+			scale := func(d sim.Duration) sim.Duration {
+				return sim.Duration(float64(d) * speed * float64(cfg.BatchPerGPU))
+			}
+			for li, layer := range cfg.Model.Layers {
+				prio := 0
+				if cfg.Priority {
+					prio = len(cfg.Model.Layers) - li // shallow layers highest
+				}
+				spec := prim.Spec{
+					Kind: prim.AllReduce, Count: layer.GradElems,
+					Type: mem.Float32, Op: mem.Sum, Ranks: ranks, TimingOnly: true,
+				}
+				if err := b.Register(p, rank, li, spec, prio); err != nil {
+					fail(err)
+					return
+				}
+			}
+			order := make([]int, len(cfg.Model.Layers))
+			for it := 0; it < cfg.Iterations; it++ {
+				start := p.Now()
+				// Forward pass.
+				var fwd sim.Duration
+				for _, l := range cfg.Model.Layers {
+					fwd += scale(l.FwdPerSample)
+				}
+				p.Sleep(fwd)
+				// Backward pass: deepest layer first; each gradient
+				// becomes ready as its layer's backward completes.
+				for i := range order {
+					order[i] = len(cfg.Model.Layers) - 1 - i
+				}
+				if cfg.Disorder != nil {
+					cfg.Disorder(rank, it, order)
+				}
+				for _, li := range order {
+					p.Sleep(scale(cfg.Model.Layers[li].BwdPerSample))
+					if cfg.StragglerDelay > 0 && rank == cfg.StragglerRank {
+						p.Sleep(cfg.StragglerDelay)
+					}
+					if err := b.Launch(p, rank, li); err != nil {
+						fail(err)
+						return
+					}
+				}
+				b.WaitAll(p, rank)
+				p.Sleep(OptimizerTime)
+				if rank == 0 {
+					res.IterTimes.Add(float64(p.Now().Sub(start)) / float64(sim.Second))
+				}
+			}
+			b.Teardown(p, rank)
+		})
+	}
+	err := e.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("train: %s: %w (blocked: %v)", b.Name(), err, e.BlockedProcesses())
+	}
+	res.Elapsed = sim.Duration(e.Now())
+	res.Throughput = metrics.Throughput(n*cfg.BatchPerGPU*cfg.Iterations, res.Elapsed)
+	return res, nil
+}
