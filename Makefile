@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all fmt vet build test ci
+
+all: ci
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+ci: fmt vet build test

@@ -1,7 +1,8 @@
 // Command overhead reports DFCCL's workload-independent overheads
 // (Fig. 7 and Sec. 6.2): daemon-kernel time components, CQE write cost
 // for the three completion-queue implementations, context-switch
-// costs, and memory footprint.
+// costs, and memory footprint — plus the communicator-pool behavior of
+// the v2 lifecycle (Open/Close churn of dynamic groups).
 package main
 
 import (
@@ -44,4 +45,13 @@ func main() {
 	for _, v := range []core.CQVariant{core.CQVanillaRing, core.CQOptimizedRing, core.CQOptimized} {
 		fmt.Printf("  %-16v %v\n", v, sweep[v])
 	}
+
+	churn, err := bench.PoolChurn(4, 8)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Communicator pool under open/close churn (v2 lifecycle):")
+	fmt.Printf("  %d cycles × fresh collective group: %d communicator(s) created, %d pooled, %d runs completed\n",
+		churn.Cycles, churn.Created, churn.Pooled, churn.Completed)
 }

@@ -6,28 +6,37 @@
 //
 // The hardware layer is a deterministic discrete-event simulation of a
 // GPU cluster (CUDA-like devices, SHM/RDMA fabric); see DESIGN.md for
-// the substitution argument. The public API mirrors the paper's
-// Listing 1:
+// the substitution argument and the v2 API overview. The public API is
+// built around typed collective handles and awaitable futures:
 //
 //	lib := dfccl.New(dfccl.Server3090(8))
 //	lib.Go("rank0", func(p *dfccl.Process) {
-//	    ctx := lib.Init(p, 0)                                // dfcclInit
-//	    ctx.RegisterAllReduce(1, n, dfccl.Float32, dfccl.Sum,
-//	        []int{0, 1, ...}, 0)                             // dfcclRegisterAllReduce
-//	    ctx.RunAllReduce(p, 1, send, recv, func() { ... })   // dfcclRunAllReduce
-//	    ctx.Destroy(p)                                       // dfcclDestroy
+//	    ctx := lib.Init(p, 0)                                  // dfcclInit
+//	    coll, _ := ctx.Open(                                   // register once...
+//	        dfccl.AllReduce(n, dfccl.Float32, dfccl.Sum, 0, 1, 2, 3),
+//	        dfccl.WithPriority(1))
+//	    fut, _ := coll.Launch(p, send, recv)                   // ...invoke repeatedly
+//	    _ = fut.Wait(p)                                        // completion + core-exec time
+//	    _ = coll.Close(p)                                      // unregister; communicator
+//	    ctx.Destroy(p)                                         // returns to the pool
 //	})
 //	lib.Run()
 //
-// Collectives are registered once and invoked repeatedly; invocation is
-// asynchronous and completion is delivered through callbacks. Ranks may
-// invoke collectives in any order — circular collective dependency that
-// would deadlock NCCL is resolved by preemption.
+// Invocation is asynchronous; completion is delivered through futures
+// (Launch) or callbacks (LaunchCB). Batch submits several collectives
+// and returns a joined future. Ranks may invoke collectives in any
+// order — circular collective dependency that would deadlock NCCL is
+// resolved by preemption.
+//
+// The paper-literal API of Listing 1 (RegisterAllReduce / RunAllReduce
+// / Run by integer collective ID) remains available as thin deprecated
+// shims over the handle layer.
 package dfccl
 
 import (
 	"dfccl/internal/core"
 	"dfccl/internal/mem"
+	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
 	"dfccl/internal/trace"
@@ -55,7 +64,74 @@ type (
 	// TraceRecorder records daemon scheduling events when assigned to
 	// Config.Tracer; it exports Chrome trace JSON (WriteChromeTrace).
 	TraceRecorder = trace.Recorder
+
+	// Spec describes one collective operation; build one with the
+	// AllReduce/AllGather/ReduceScatter/Broadcast/Reduce constructors
+	// and pass it to (*RankContext).Open.
+	Spec = prim.Spec
+	// Collective is a typed handle to one registered collective on one
+	// rank: Launch/LaunchCB to invoke, Stats to observe, Close to
+	// unregister and recycle its communicator.
+	Collective = core.Collective
+	// Future is the awaitable result of Launch or Batch: Wait blocks
+	// the simulated process until completion and CoreExecTime reports
+	// the run's on-GPU execution time.
+	Future = core.Future
+	// CollectiveStats are per-handle scheduling statistics.
+	CollectiveStats = core.CollectiveStats
+	// OpenOption configures Open (WithPriority, WithCollID, WithGrid).
+	OpenOption = core.OpenOption
+	// BatchItem is one launch in a Batch.
+	BatchItem = core.BatchItem
 )
+
+// Functional options for (*RankContext).Open.
+var (
+	// WithPriority sets the daemon scheduling priority (higher first).
+	WithPriority = core.WithPriority
+	// WithCollID pins the explicit collective ID, as dfcclRegister* does.
+	WithCollID = core.WithCollID
+	// WithGrid sets the thread blocks the collective's kernel needs.
+	WithGrid = core.WithGrid
+)
+
+// AllReduce builds the spec of an all-reduce over devSet: every rank
+// contributes count elements and receives the elementwise reduction.
+func AllReduce(count int, t DataType, op ReduceOp, devSet ...int) Spec {
+	return Spec{Kind: prim.AllReduce, Count: count, Type: t, Op: op, Ranks: devSet}
+}
+
+// AllGather builds the spec of an all-gather over devSet: every rank
+// contributes count elements and receives count×N.
+func AllGather(count int, t DataType, devSet ...int) Spec {
+	return Spec{Kind: prim.AllGather, Count: count, Type: t, Ranks: devSet}
+}
+
+// ReduceScatter builds the spec of a reduce-scatter over devSet: every
+// rank contributes count elements and receives its count/N share of
+// the reduction.
+func ReduceScatter(count int, t DataType, op ReduceOp, devSet ...int) Spec {
+	return Spec{Kind: prim.ReduceScatter, Count: count, Type: t, Op: op, Ranks: devSet}
+}
+
+// Broadcast builds the spec of a broadcast over devSet; root indexes
+// devSet, not global ranks.
+func Broadcast(count int, t DataType, root int, devSet ...int) Spec {
+	return Spec{Kind: prim.Broadcast, Count: count, Type: t, Root: root, Ranks: devSet}
+}
+
+// Reduce builds the spec of a reduce over devSet; root indexes devSet.
+func Reduce(count int, t DataType, op ReduceOp, root int, devSet ...int) Spec {
+	return Spec{Kind: prim.Reduce, Count: count, Type: t, Op: op, Root: root, Ranks: devSet}
+}
+
+// Batch submits several collective runs at once and returns a joined
+// future that resolves when all of them complete. Items may target
+// different collectives (typically on the same rank); all items are
+// validated before anything is submitted.
+func Batch(p *Process, items ...BatchItem) (*Future, error) {
+	return core.Batch(p, items...)
+}
 
 // Re-exported constants.
 const (

@@ -1,0 +1,191 @@
+package dfccl_test
+
+import (
+	"testing"
+
+	"dfccl"
+	"dfccl/internal/bench"
+)
+
+// TestV2HandleQuickstart drives the v2 surface end to end: builder
+// spec, Open with auto collective ID, future-style Launch, core-exec
+// timing, Close, and pool recycling observed through the facade.
+func TestV2HandleQuickstart(t *testing.T) {
+	const n, count, cycles = 4, 256, 3
+	lib := dfccl.New(dfccl.Server3090(n))
+	lib.SetTimeLimit(30 * dfccl.Second)
+	ranks := []int{0, 1, 2, 3}
+	results := make([]*dfccl.Buffer, n)
+	coreExec := make([]dfccl.Duration, n)
+	bar := bench.NewBarrier(n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		lib.Go("rank", func(p *dfccl.Process) {
+			ctx := lib.Init(p, rank)
+			for cy := 0; cy < cycles; cy++ {
+				coll, err := ctx.Open(dfccl.AllReduce(count, dfccl.Float64, dfccl.Sum, ranks...))
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				send := dfccl.NewBuffer(dfccl.Float64, count)
+				recv := dfccl.NewBuffer(dfccl.Float64, count)
+				send.Fill(float64(rank + 1))
+				results[rank] = recv
+				fut, err := coll.Launch(p, send, recv)
+				if err != nil {
+					t.Errorf("launch: %v", err)
+					return
+				}
+				if err := fut.Wait(p); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+				coreExec[rank] = fut.CoreExecTime()
+				if err := coll.Close(p); err != nil {
+					t.Errorf("close: %v", err)
+					return
+				}
+				bar.Wait(p)
+			}
+			ctx.Destroy(p)
+		})
+	}
+	if err := lib.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank, r := range results {
+		if got := r.Float64At(count - 1); got != 10 {
+			t.Fatalf("rank %d = %v, want 10", rank, got)
+		}
+		if coreExec[rank] <= 0 {
+			t.Fatalf("rank %d core-exec time = %v, want > 0", rank, coreExec[rank])
+		}
+	}
+	if got := lib.System().CommsCreated(); got != 1 {
+		t.Fatalf("CommsCreated = %d after %d open/close cycles, want 1", got, cycles)
+	}
+}
+
+// TestV2BatchDisorder submits each rank's collectives as one Batch in
+// rank-specific (circularly disordered) orders — the scenario that
+// deadlocks NCCL — and joins on a single future per rank.
+func TestV2BatchDisorder(t *testing.T) {
+	const n, nColl, count = 4, 5, 128
+	lib := dfccl.New(dfccl.Server3090(n))
+	lib.SetTimeLimit(30 * dfccl.Second)
+	ranks := []int{0, 1, 2, 3}
+	runs := make([]int, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		lib.Go("rank", func(p *dfccl.Process) {
+			ctx := lib.Init(p, rank)
+			items := make([]dfccl.BatchItem, 0, nColl)
+			for c := 0; c < nColl; c++ {
+				coll, err := ctx.Open(
+					dfccl.AllReduce(count, dfccl.Float32, dfccl.Sum, ranks...),
+					dfccl.WithCollID(c), dfccl.WithPriority(c))
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				items = append(items, dfccl.BatchItem{
+					C:    coll,
+					Send: dfccl.NewBuffer(dfccl.Float32, count),
+					Recv: dfccl.NewBuffer(dfccl.Float32, count),
+				})
+			}
+			// Rotate the batch by rank: every rank submits in a
+			// different circular order.
+			rot := append(items[rank%nColl:], items[:rank%nColl]...)
+			fut, err := dfccl.Batch(p, rot...)
+			if err != nil {
+				t.Errorf("batch: %v", err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			runs[rank] = fut.Runs()
+			ctx.Destroy(p)
+		})
+	}
+	if err := lib.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank, r := range runs {
+		if r != nColl {
+			t.Fatalf("rank %d joined %d runs, want %d", rank, r, nColl)
+		}
+	}
+}
+
+// TestV2BuildersMatchKinds exercises every builder through Open and a
+// launch, checking the deprecated shims and the handle layer coexist.
+func TestV2BuildersMatchKinds(t *testing.T) {
+	const n = 4
+	lib := dfccl.New(dfccl.Server3090(n))
+	lib.SetTimeLimit(30 * dfccl.Second)
+	ranks := []int{0, 1, 2, 3}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		lib.Go("rank", func(p *dfccl.Process) {
+			ctx := lib.Init(p, rank)
+			specs := []dfccl.Spec{
+				dfccl.AllReduce(64, dfccl.Float64, dfccl.Sum, ranks...),
+				dfccl.AllGather(16, dfccl.Float64, ranks...),
+				dfccl.ReduceScatter(64, dfccl.Float64, dfccl.Sum, ranks...),
+				dfccl.Broadcast(32, dfccl.Float64, 2, ranks...),
+				dfccl.Reduce(32, dfccl.Float64, dfccl.Max, 1, ranks...),
+			}
+			var futs []*dfccl.Future
+			for i, spec := range specs {
+				coll, err := ctx.Open(spec, dfccl.WithCollID(10+i))
+				if err != nil {
+					t.Errorf("open %d: %v", i, err)
+					return
+				}
+				sendCount, recvCount := 64, 64
+				switch i {
+				case 1:
+					sendCount, recvCount = 16, 64
+				case 2:
+					sendCount, recvCount = 64, 16
+				case 3, 4:
+					sendCount, recvCount = 32, 32
+				}
+				fut, err := coll.Launch(p,
+					dfccl.NewBuffer(dfccl.Float64, sendCount),
+					dfccl.NewBuffer(dfccl.Float64, recvCount))
+				if err != nil {
+					t.Errorf("launch %d: %v", i, err)
+					return
+				}
+				futs = append(futs, fut)
+			}
+			// The paper-literal shim still works alongside handles.
+			if err := ctx.RegisterAllReduce(99, 64, dfccl.Float64, dfccl.Sum, ranks, 0); err != nil {
+				t.Errorf("shim register: %v", err)
+				return
+			}
+			s := dfccl.NewBuffer(dfccl.Float64, 64)
+			d := dfccl.NewBuffer(dfccl.Float64, 64)
+			if err := ctx.RunAllReduce(p, 99, s, d, nil); err != nil {
+				t.Errorf("shim run: %v", err)
+				return
+			}
+			for i, fut := range futs {
+				if err := fut.Wait(p); err != nil {
+					t.Errorf("wait %d: %v", i, err)
+					return
+				}
+			}
+			ctx.WaitAll(p)
+			ctx.Destroy(p)
+		})
+	}
+	if err := lib.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,8 +1,12 @@
 // Data-parallel training loop: per-layer gradient all-reduces are
-// invoked asynchronously as the backward pass produces them, with
+// launched asynchronously as the backward pass produces them, with
 // higher DFCCL priority for later-arriving (shallower) gradients so
 // communication overlaps computation — the paper's practical priority
 // scheme (Sec. 4.3). No CPU orchestration of launch order is needed.
+//
+// Each layer holds a *Collective handle opened with WithPriority; the
+// backward pass collects the launch futures and the iteration joins on
+// them before the optimizer step.
 //
 //	go run ./examples/dataparallel
 package main
@@ -37,31 +41,47 @@ func main() {
 		rank := rank
 		lib.Go(fmt.Sprintf("trainer%d", rank), func(p *dfccl.Process) {
 			ctx := lib.Init(p, rank)
+			colls := make([]*dfccl.Collective, nLayers)
 			send := make([]*dfccl.Buffer, nLayers)
 			recv := make([]*dfccl.Buffer, nLayers)
 			for l := 0; l < nLayers; l++ {
 				// Shallower layers (produced last in backward, needed
 				// first in the next forward) get higher priority.
-				priority := nLayers - l
-				if err := ctx.RegisterAllReduce(l, gradElems, dfccl.Float32, dfccl.Sum, ranks, priority); err != nil {
-					log.Fatalf("register layer %d: %v", l, err)
+				c, err := ctx.Open(
+					dfccl.AllReduce(gradElems, dfccl.Float32, dfccl.Sum, ranks...),
+					dfccl.WithPriority(nLayers-l))
+				if err != nil {
+					log.Fatalf("open layer %d: %v", l, err)
 				}
+				colls[l] = c
 				send[l] = dfccl.NewBuffer(dfccl.Float32, gradElems)
 				recv[l] = dfccl.NewBuffer(dfccl.Float32, gradElems)
 			}
 			for it := 0; it < iterations; it++ {
 				p.Sleep(fwdTotal) // forward pass
+				futs := make([]*dfccl.Future, 0, nLayers)
 				for l := nLayers - 1; l >= 0; l-- {
 					p.Sleep(bwdPerLayer) // backward of layer l
 					// Gradient ready: launch its all-reduce immediately;
 					// the daemon kernel overlaps it with remaining
 					// backward compute.
-					if err := ctx.Run(p, l, send[l], recv[l], nil); err != nil {
-						log.Fatalf("run layer %d: %v", l, err)
+					fut, err := colls[l].Launch(p, send[l], recv[l])
+					if err != nil {
+						log.Fatalf("launch layer %d: %v", l, err)
+					}
+					futs = append(futs, fut)
+				}
+				for _, fut := range futs { // all gradients reduced
+					if err := fut.Wait(p); err != nil {
+						log.Fatalf("wait: %v", err)
 					}
 				}
-				ctx.WaitAll(p)                 // all gradients reduced
 				p.Sleep(2 * dfccl.Millisecond) // optimizer step
+			}
+			for _, c := range colls {
+				if err := c.Close(p); err != nil {
+					log.Fatalf("close: %v", err)
+				}
 			}
 			ctx.Destroy(p)
 		})

@@ -1,8 +1,14 @@
 // Dynamic overlapping groups: the Pathways-style irregular scenario
 // that motivates DFCCL (Sec. 2.5). GPUs belong to several overlapping
 // groups, invoke each group's collectives in different orders, and new
-// collectives are registered dynamically at runtime. Manual collective
-// orchestration is impractical here; DFCCL needs none.
+// collectives are opened — and closed — dynamically at runtime. Manual
+// collective orchestration is impractical here; DFCCL needs none.
+//
+// On the v2 API each iteration is a Batch: submit every group's
+// collective in this rank's (random) order and await one joined
+// future. Closing handles returns communicators to the pool, so
+// open/close churn over the same rank sets does not grow the
+// deployment's communicator count.
 //
 //	go run ./examples/dynamicgroups
 package main
@@ -11,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 
 	"dfccl"
 )
@@ -24,7 +31,8 @@ func main() {
 		4: {0, 3, 5, 7},
 		5: {0, 1, 2, 3, 4, 5, 6, 7},
 	}
-	// A collective registered later, mid-run.
+	// A collective opened later, mid-run, and closed when its group
+	// dissolves.
 	lateGroup := []int{2, 4, 6}
 
 	lib := dfccl.New(dfccl.Server3090(nGPUs))
@@ -43,37 +51,64 @@ func main() {
 					}
 				}
 			}
+			sort.Ints(mine)
+			colls := make(map[int]*dfccl.Collective, len(mine))
 			for _, id := range mine {
-				if err := ctx.RegisterAllReduce(id, 32<<10, dfccl.Float32, dfccl.Sum, groups[id], 0); err != nil {
-					log.Fatalf("register %d: %v", id, err)
+				c, err := ctx.Open(
+					dfccl.AllReduce(32<<10, dfccl.Float32, dfccl.Sum, groups[id]...),
+					dfccl.WithCollID(id))
+				if err != nil {
+					log.Fatalf("open %d: %v", id, err)
 				}
+				colls[id] = c
 			}
 			// Each rank launches its groups' collectives in its own
-			// random order — the free-grouping disorder of Table 1.
+			// random order — the free-grouping disorder of Table 1 —
+			// as one batch with a joined future.
 			rng := rand.New(rand.NewSource(int64(1000 + rank)))
 			for iter := 0; iter < 3; iter++ {
 				rng.Shuffle(len(mine), func(i, j int) { mine[i], mine[j] = mine[j], mine[i] })
+				var items []dfccl.BatchItem
 				for _, id := range mine {
-					send := dfccl.NewBuffer(dfccl.Float32, 32<<10)
-					recv := dfccl.NewBuffer(dfccl.Float32, 32<<10)
-					if err := ctx.Run(p, id, send, recv, func() { completed[rank]++ }); err != nil {
-						log.Fatalf("run %d: %v", id, err)
-					}
+					items = append(items, dfccl.BatchItem{
+						C:    colls[id],
+						Send: dfccl.NewBuffer(dfccl.Float32, 32<<10),
+						Recv: dfccl.NewBuffer(dfccl.Float32, 32<<10),
+					})
 				}
-				ctx.WaitAll(p)
+				fut, err := dfccl.Batch(p, items...)
+				if err != nil {
+					log.Fatalf("batch: %v", err)
+				}
+				if err := fut.Wait(p); err != nil {
+					log.Fatalf("wait: %v", err)
+				}
+				completed[rank] += fut.Runs()
 			}
-			// Dynamic registration during runtime (Sec. 3.2).
+			// Dynamic group creation during runtime (Sec. 3.2), then
+			// dissolution: Close deregisters the collective and — once
+			// all three members close — recycles its communicator.
 			for _, r := range lateGroup {
 				if r == rank {
-					if err := ctx.RegisterAllReduce(99, 16<<10, dfccl.Float32, dfccl.Sum, lateGroup, 0); err != nil {
-						log.Fatalf("dynamic register: %v", err)
+					late, err := ctx.Open(
+						dfccl.AllReduce(16<<10, dfccl.Float32, dfccl.Sum, lateGroup...),
+						dfccl.WithCollID(99))
+					if err != nil {
+						log.Fatalf("dynamic open: %v", err)
 					}
-					send := dfccl.NewBuffer(dfccl.Float32, 16<<10)
-					recv := dfccl.NewBuffer(dfccl.Float32, 16<<10)
-					if err := ctx.Run(p, 99, send, recv, func() { completed[rank]++ }); err != nil {
-						log.Fatalf("dynamic run: %v", err)
+					fut, err := late.Launch(p,
+						dfccl.NewBuffer(dfccl.Float32, 16<<10),
+						dfccl.NewBuffer(dfccl.Float32, 16<<10))
+					if err != nil {
+						log.Fatalf("dynamic launch: %v", err)
 					}
-					ctx.WaitAll(p)
+					if err := fut.Wait(p); err != nil {
+						log.Fatalf("dynamic wait: %v", err)
+					}
+					completed[rank]++
+					if err := late.Close(p); err != nil {
+						log.Fatalf("dynamic close: %v", err)
+					}
 				}
 			}
 			ctx.Destroy(p)
@@ -89,4 +124,6 @@ func main() {
 	}
 	fmt.Printf("total %d runs across overlapping groups, random per-GPU orders, zero deadlocks (%v virtual)\n",
 		total, lib.Now())
+	fmt.Printf("communicators created: %d (closed groups recycle theirs through the pool)\n",
+		lib.System().CommsCreated())
 }

@@ -4,6 +4,9 @@
 // DFCCL's daemon kernel voluntarily quits so the synchronization can
 // complete, then resumes the stuck collectives: everything finishes.
 //
+// On the v2 API the circular dependency is just two Launch calls per
+// rank (in opposite orders) and two future waits.
+//
 //	go run ./examples/hybridparallel
 package main
 
@@ -25,33 +28,49 @@ func main() {
 		rank := rank
 		lib.Go(fmt.Sprintf("rank%d", rank), func(p *dfccl.Process) {
 			ctx := lib.Init(p, rank)
-			for c := 0; c < 2; c++ {
-				if err := ctx.RegisterAllReduce(c, count, dfccl.Float32, dfccl.Sum, ranks, 0); err != nil {
-					log.Fatalf("register: %v", err)
-				}
+			spec := dfccl.AllReduce(count, dfccl.Float32, dfccl.Sum, ranks...)
+			a, err := ctx.Open(spec, dfccl.WithCollID(0))
+			if err != nil {
+				log.Fatalf("open: %v", err)
+			}
+			b, err := ctx.Open(spec, dfccl.WithCollID(1))
+			if err != nil {
+				log.Fatalf("open: %v", err)
 			}
 			// GPU 0 invokes A then B; GPU 1 invokes B then A: the
 			// disordered invocation of Fig. 1.
-			order := []int{0, 1}
+			first, second := a, b
 			if rank == 1 {
-				order = []int{1, 0}
+				first, second = b, a
 			}
-			run := func(c int) {
-				send := dfccl.NewBuffer(dfccl.Float32, count)
-				recv := dfccl.NewBuffer(dfccl.Float32, count)
-				if err := ctx.Run(p, c, send, recv, nil); err != nil {
-					log.Fatalf("run: %v", err)
+			launch := func(c *dfccl.Collective) *dfccl.Future {
+				fut, err := c.Launch(p,
+					dfccl.NewBuffer(dfccl.Float32, count),
+					dfccl.NewBuffer(dfccl.Float32, count))
+				if err != nil {
+					log.Fatalf("launch: %v", err)
 				}
+				return fut
 			}
-			run(order[0])
+			f1 := launch(first)
 			// Explicit GPU synchronization between the two invocations:
 			// with NCCL this completes the circular wait (Fig. 1(d));
 			// with DFCCL the daemon kernel quits voluntarily, the sync
 			// completes, and the collectives resume afterwards.
 			ctx.DeviceSynchronize(p)
-			run(order[1])
-			ctx.WaitAll(p)
+			f2 := launch(second)
+			if err := f1.Wait(p); err != nil {
+				log.Fatalf("wait: %v", err)
+			}
+			if err := f2.Wait(p); err != nil {
+				log.Fatalf("wait: %v", err)
+			}
 			quits[rank] = ctx.Stats.VoluntaryQuits
+			for _, c := range []*dfccl.Collective{a, b} {
+				if err := c.Close(p); err != nil {
+					log.Fatalf("close: %v", err)
+				}
+			}
 			ctx.Destroy(p)
 		})
 	}

@@ -1,5 +1,6 @@
-// Quickstart: register one all-reduce on eight simulated GPUs, run it,
-// and verify the result — the DFCCL equivalent of an NCCL hello-world.
+// Quickstart: open one all-reduce handle on eight simulated GPUs,
+// launch it, await the future, and verify the result — the DFCCL
+// equivalent of an NCCL hello-world, on the v2 handle API.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,9 +14,8 @@ import (
 
 func main() {
 	const (
-		nGPUs  = 8
-		count  = 1 << 20 // 1M floats = 4 MB
-		collID = 1
+		nGPUs = 8
+		count = 1 << 20 // 1M floats = 4 MB
 	)
 	lib := dfccl.New(dfccl.Server3090(nGPUs))
 	ranks := make([]int, nGPUs)
@@ -23,31 +23,40 @@ func main() {
 		ranks[i] = i
 	}
 	results := make([]*dfccl.Buffer, nGPUs)
+	coreExec := make([]dfccl.Duration, nGPUs)
 
 	for rank := 0; rank < nGPUs; rank++ {
 		rank := rank
 		lib.Go(fmt.Sprintf("rank%d", rank), func(p *dfccl.Process) {
-			// dfcclInit: one context per GPU.
+			// One context per GPU (dfcclInit).
 			ctx := lib.Init(p, rank)
-			// dfcclRegisterAllReduce: register once...
-			if err := ctx.RegisterAllReduce(collID, count, dfccl.Float32, dfccl.Sum, ranks, 0); err != nil {
-				log.Fatalf("register: %v", err)
+			// Open registers the collective once and returns a typed
+			// handle; the system assigns a collective ID that matches
+			// across ranks opening the same spec.
+			coll, err := ctx.Open(dfccl.AllReduce(count, dfccl.Float32, dfccl.Sum, ranks...))
+			if err != nil {
+				log.Fatalf("open: %v", err)
 			}
 			send := dfccl.NewBuffer(dfccl.Float32, count)
 			recv := dfccl.NewBuffer(dfccl.Float32, count)
 			send.Fill(float64(rank + 1))
 			results[rank] = recv
-			// dfcclRunAllReduce: ...invoke asynchronously; the callback
-			// fires when the daemon kernel completes the collective.
-			done := false
-			if err := ctx.Run(p, collID, send, recv, func() { done = true }); err != nil {
-				log.Fatalf("run: %v", err)
+			// Launch is asynchronous; the future resolves when the
+			// daemon kernel completes the collective and carries the
+			// run's core-execution time.
+			fut, err := coll.Launch(p, send, recv)
+			if err != nil {
+				log.Fatalf("launch: %v", err)
 			}
-			ctx.WaitAll(p)
-			if !done {
-				log.Fatalf("rank %d: callback did not fire", rank)
+			if err := fut.Wait(p); err != nil {
+				log.Fatalf("rank %d: %v", rank, err)
 			}
-			// dfcclDestroy.
+			coreExec[rank] = fut.CoreExecTime()
+			// Close unregisters the collective and returns its
+			// communicator to the pool; Destroy tears down the context.
+			if err := coll.Close(p); err != nil {
+				log.Fatalf("close: %v", err)
+			}
 			ctx.Destroy(p)
 		})
 	}
@@ -63,5 +72,6 @@ func main() {
 	}
 	fmt.Printf("all-reduce of %d floats across %d GPUs completed in %v of virtual time\n",
 		count, nGPUs, lib.Now())
-	fmt.Printf("every rank holds the correct sum %v\n", want)
+	fmt.Printf("every rank holds the correct sum %v (rank0 core-exec time %v)\n",
+		want, coreExec[0])
 }

@@ -1,0 +1,3 @@
+module dfccl
+
+go 1.24

@@ -124,19 +124,22 @@ func sec61Configurable(cfg core.Config, iterations int, seed int64, withSync boo
 		rank := rank
 		e.Spawn("abl", func(p *sim.Process) {
 			rc := sys.Init(p, rank)
+			colls := make([]*core.Collective, nColl)
 			for c := 0; c < nColl; c++ {
-				if err := rc.Register(collSpec(sizes[c], ranks), c, 0); err != nil {
+				coll, err := rc.Open(collSpec(sizes[c], ranks), core.WithCollID(c))
+				if err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
 					return
 				}
+				colls[c] = coll
 			}
 			send := zeroBuf()
 			recv := zeroBuf()
 			for it := 0; it < iterations; it++ {
 				for _, c := range orders[rank] {
-					if err := rc.Run(p, c, send, recv, nil); err != nil {
+					if err := colls[c].LaunchCB(p, send, recv, nil); err != nil {
 						if firstErr == nil {
 							firstErr = err
 						}
@@ -199,25 +202,35 @@ func AblationBatchedSQERead() (perEntry, batched float64, err error) {
 			rank := rank
 			e.Spawn("burst", func(p *sim.Process) {
 				rc := sys.Init(p, rank)
+				colls := make([]*core.Collective, nColl)
 				for c := 0; c < nColl; c++ {
-					if err := rc.Register(collSpec(16, ranks), c, 0); err != nil {
+					coll, err := rc.Open(collSpec(16, ranks), core.WithCollID(c))
+					if err != nil {
 						if firstErr == nil {
 							firstErr = err
 						}
 						return
 					}
+					colls[c] = coll
 				}
+				// The whole backlog is one Batch: burst×nColl runs
+				// submitted at once, awaited through a joined future.
+				items := make([]core.BatchItem, 0, burst*nColl)
 				for i := 0; i < burst; i++ {
 					for c := 0; c < nColl; c++ {
-						if err := rc.Run(p, c, zeroBuf(), zeroBuf(), nil); err != nil {
-							if firstErr == nil {
-								firstErr = err
-							}
-							return
-						}
+						items = append(items, core.BatchItem{C: colls[c], Send: zeroBuf(), Recv: zeroBuf()})
 					}
 				}
-				rc.WaitAll(p)
+				fut, err := core.Batch(p, items...)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				if err := fut.Wait(p); err != nil && firstErr == nil {
+					firstErr = err
+				}
 				rc.Destroy(p)
 			})
 		}

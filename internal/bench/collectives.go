@@ -124,7 +124,6 @@ func MeasureDFCCL(cfg CollConfig, conf core.Config) (CollResult, error) {
 	n := cfg.Cluster.Size()
 	spec := cfg.spec()
 	bar := NewBarrier(n)
-	const collID = 1
 	var e2eSum, coreSum sim.Duration
 	measured := 0
 	var firstErr error
@@ -132,7 +131,8 @@ func MeasureDFCCL(cfg CollConfig, conf core.Config) (CollResult, error) {
 		rank := rank
 		e.Spawn("bench.dfccl", func(p *sim.Process) {
 			rc := sys.Init(p, rank)
-			if err := rc.Register(spec, collID, 0); err != nil {
+			coll, err := rc.Open(spec)
+			if err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -143,21 +143,30 @@ func MeasureDFCCL(cfg CollConfig, conf core.Config) (CollResult, error) {
 			for it := 0; it < cfg.Warmup+cfg.Iters; it++ {
 				bar.Wait(p)
 				start := p.Now()
-				if err := rc.Run(p, collID, send, recv, nil); err != nil {
+				fut, err := coll.Launch(p, send, recv)
+				if err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
 					return
 				}
-				rc.WaitAll(p)
+				if err := fut.Wait(p); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
 				if it >= cfg.Warmup {
 					if rank == 0 {
 						e2eSum += p.Now().Sub(start)
 						measured++
 					}
-					coreSum += rc.CoreExecTime(collID)
+					coreSum += fut.CoreExecTime()
 				}
 				bar.Wait(p)
+			}
+			if err := coll.Close(p); err != nil && firstErr == nil {
+				firstErr = err
 			}
 			rc.Destroy(p)
 		})

@@ -296,20 +296,22 @@ func sec61DFCCL(orders [][]int, sizes []int, iterations int, withSync bool) (Sec
 		rank := rank
 		e.Spawn("sec61", func(p *sim.Process) {
 			rc := sys.Init(p, rank)
+			colls := make([]*core.Collective, nColl)
 			for c := 0; c < nColl; c++ {
-				spec := collSpec(sizes[c], ranks)
-				if err := rc.Register(spec, c, 0); err != nil {
+				coll, err := rc.Open(collSpec(sizes[c], ranks), core.WithCollID(c))
+				if err != nil {
 					if firstErr == nil {
 						firstErr = err
 					}
 					return
 				}
+				colls[c] = coll
 			}
 			send := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 0)
 			recv := mem.NewBuffer(mem.DeviceSpace, mem.Float32, 0)
 			for it := 0; it < iterations; it++ {
 				for _, c := range orders[rank] {
-					if err := rc.Run(p, c, send, recv, nil); err != nil {
+					if err := colls[c].LaunchCB(p, send, recv, nil); err != nil {
 						if firstErr == nil {
 							firstErr = err
 						}

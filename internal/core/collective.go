@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+)
+
+// OpenOption configures Open. Options compose left to right.
+type OpenOption func(*openOpts)
+
+type openOpts struct {
+	collID   int
+	hasID    bool
+	priority int
+	grid     int
+}
+
+// WithCollID pins the collective to an explicit ID, as the paper's
+// dfcclRegister* API does. All participating ranks must open the same
+// ID with the same spec. Without this option the system derives a
+// deterministic ID from the spec, matching the i-th open of a given
+// spec across ranks (which requires ranks to open identical specs in
+// the same per-spec order — use WithCollID when they do not).
+func WithCollID(id int) OpenOption {
+	return func(o *openOpts) { o.collID = id; o.hasID = true }
+}
+
+// WithPriority sets the scheduling priority used by the daemon's
+// priority ordering policy (higher runs first). The first rank to open
+// a collective fixes its priority.
+func WithPriority(priority int) OpenOption {
+	return func(o *openOpts) { o.priority = priority }
+}
+
+// WithGrid sets the number of thread blocks the collective's kernel
+// needs; the daemon kernel's grid is the maximum over registered
+// collectives. The first rank to open a collective fixes its grid.
+func WithGrid(blocks int) OpenOption {
+	return func(o *openOpts) { o.grid = blocks }
+}
+
+// Collective is a typed handle to one registered collective on one
+// rank: the unit of the v2 API. It is obtained from Open, launched
+// with Launch (future style) or LaunchCB (callback style), observed
+// with Stats, and released with Close, which deregisters the
+// collective on this rank and — once every participating rank has
+// closed — returns the group's communicator to the pool.
+type Collective struct {
+	r      *RankContext
+	id     int
+	closed bool
+}
+
+// Open registers a collective on this rank and returns its handle —
+// the v2 replacement for dfcclRegister*. All participating ranks must
+// open the same collective (same spec, same effective ID).
+func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, error) {
+	if r.destroyed {
+		return nil, fmt.Errorf("core: rank %d context destroyed", r.Rank)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var o openOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	id := o.collID
+	if !o.hasID {
+		id = r.sys.autoCollID(r, spec)
+	}
+	if err := r.register(spec, id, o.priority, o.grid); err != nil {
+		return nil, err
+	}
+	return &Collective{r: r, id: id}, nil
+}
+
+// ID returns the collective ID (explicit or system-assigned).
+func (c *Collective) ID() int { return c.id }
+
+// Rank returns the rank this handle belongs to.
+func (c *Collective) Rank() int { return c.r.Rank }
+
+// Spec returns the registered spec; the zero Spec after Close. The
+// closed check matters because collective IDs are reusable after a
+// full close: a stale handle must not report a successor's spec.
+func (c *Collective) Spec() prim.Spec {
+	if c.closed {
+		return prim.Spec{}
+	}
+	if t, ok := c.r.tasks[c.id]; ok {
+		return t.group.Spec
+	}
+	return prim.Spec{}
+}
+
+// Closed reports whether Close has been called on this handle.
+func (c *Collective) Closed() bool { return c.closed }
+
+// preflight validates a launch without submitting it.
+func (c *Collective) preflight(send, recv *mem.Buffer) error {
+	if c.closed {
+		return fmt.Errorf("core: collective %d launched after Close on rank %d", c.id, c.r.Rank)
+	}
+	if c.r.destroyed {
+		return fmt.Errorf("core: rank %d context destroyed", c.r.Rank)
+	}
+	t, ok := c.r.tasks[c.id]
+	if !ok {
+		return fmt.Errorf("core: collective %d not registered on rank %d", c.id, c.r.Rank)
+	}
+	return checkBufferSizes(t.group.Spec, send, recv)
+}
+
+// Launch submits one asynchronous run of the collective and returns a
+// Future that resolves when the daemon kernel completes it. The future
+// carries the run's core-execution time (Fig. 9's preparing overheads
+// + primitive execution).
+func (c *Collective) Launch(p *sim.Process, send, recv *mem.Buffer) (*Future, error) {
+	f := newFuture(c.r.sys.Engine, 1)
+	if err := c.LaunchCB(p, send, recv, func() {
+		f.completeOne(c.r.CoreExecTime(c.id))
+	}); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LaunchCB submits one asynchronous run with a completion callback —
+// the paper's dfcclRun* style on a handle. cb may be nil.
+func (c *Collective) LaunchCB(p *sim.Process, send, recv *mem.Buffer, cb Callback) error {
+	if c.closed {
+		return fmt.Errorf("core: collective %d launched after Close on rank %d", c.id, c.r.Rank)
+	}
+	return c.r.Run(p, c.id, send, recv, cb)
+}
+
+// CollectiveStats are per-handle scheduling statistics on this rank.
+type CollectiveStats struct {
+	// CtxSwitches counts preemptions of this collective on this GPU.
+	CtxSwitches int
+	// Completions counts completed runs.
+	Completions int
+	// QueueLenAtLast is the daemon task-queue length right after this
+	// collective's last SQE fetch (Fig. 11 instrumentation).
+	QueueLenAtLast int
+	// LastCoreExec is the most recent run's core-execution time.
+	LastCoreExec sim.Duration
+}
+
+// Stats returns this collective's per-rank scheduling statistics; the
+// zero value after Close (IDs are reusable after a full close, so a
+// stale handle must not report a successor's statistics).
+func (c *Collective) Stats() CollectiveStats {
+	if c.closed {
+		return CollectiveStats{}
+	}
+	t, ok := c.r.tasks[c.id]
+	if !ok {
+		return CollectiveStats{}
+	}
+	return CollectiveStats{
+		CtxSwitches:    t.CtxSwitches,
+		Completions:    t.Completions,
+		QueueLenAtLast: t.QueueLenAtLast,
+		LastCoreExec:   c.r.CoreExecTime(c.id),
+	}
+}
+
+// Close deregisters the collective on this rank — the Unregister
+// lifecycle step the paper's API lacks. The task is removed from the
+// rank, the group's cross-rank refcount drops, and when the last
+// participating rank closes, the group's communicator returns to the
+// pool for reuse by later collectives over the same rank set. Closing
+// with outstanding runs is an error (WaitAll or wait the futures
+// first); closing twice is a no-op. p is the calling host process,
+// kept for symmetry with the rest of the API (teardown is currently
+// free in virtual time).
+func (c *Collective) Close(p *sim.Process) error {
+	_ = p
+	if c.closed {
+		return nil
+	}
+	if err := c.r.Unregister(c.id); err != nil {
+		return err
+	}
+	c.closed = true
+	return nil
+}
+
+// Future is the awaitable result of Launch (or of a Batch of
+// launches): completion, error state, and core-execution timing.
+type Future struct {
+	engine   *sim.Engine
+	cond     *sim.Cond
+	pending  int
+	total    int
+	err      error
+	coreExec sim.Duration // max across joined completions
+}
+
+func newFuture(e *sim.Engine, n int) *Future {
+	return &Future{engine: e, cond: sim.NewCond("core.future"), pending: n, total: n}
+}
+
+// completeOne records one completed run; the future resolves when all
+// joined runs have completed. It runs in poller context.
+func (f *Future) completeOne(core sim.Duration) {
+	if core > f.coreExec {
+		f.coreExec = core
+	}
+	f.pending--
+	if f.pending <= 0 {
+		f.cond.Broadcast(f.engine)
+	}
+}
+
+// Wait blocks the calling process until the future resolves and
+// returns its error state. Today every failure mode of a launch is
+// synchronous (Launch/Batch return the error before a future
+// escapes), so Wait returns nil; the error slot is part of the future
+// contract so that asynchronous failures — e.g. transport faults in a
+// future fabric model — resolve through the same surface.
+func (f *Future) Wait(p *sim.Process) error {
+	for f.pending > 0 {
+		f.cond.Wait(p)
+	}
+	return f.err
+}
+
+// Done reports whether the future has resolved (non-blocking).
+func (f *Future) Done() bool { return f.pending <= 0 }
+
+// Err returns the future's error state; meaningful once Done.
+func (f *Future) Err() error { return f.err }
+
+// CoreExecTime returns the core-execution time of the completed run;
+// for a joined (Batch) future it is the maximum across the batch.
+// Meaningful once Done.
+func (f *Future) CoreExecTime() sim.Duration { return f.coreExec }
+
+// Runs returns how many launches the future joins (1 for Launch).
+func (f *Future) Runs() int { return f.total }
+
+// BatchItem is one launch in a Batch: a collective handle plus its
+// buffers for this run.
+type BatchItem struct {
+	C          *Collective
+	Send, Recv *mem.Buffer
+}
+
+// Batch submits several collective runs at once and returns a joined
+// future that resolves when all of them complete. Every item is
+// validated before anything is submitted, so a bad item is rejected
+// with no partial batch in flight. The items' submission order is the
+// slice order — DFCCL's daemon resolves any cross-rank disorder, so
+// ranks may batch the same collectives in different orders.
+//
+// Submission is not transactional beyond that preflight: SQ inserts
+// can block when the submission queue is full, and if another process
+// closes a batched collective or destroys the context in that window,
+// Batch returns the mid-batch error while the already-submitted items
+// stay in flight (they complete normally against the discarded
+// future).
+func Batch(p *sim.Process, items ...BatchItem) (*Future, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	for _, it := range items {
+		if it.C == nil {
+			return nil, fmt.Errorf("core: nil collective in batch")
+		}
+		if err := it.C.preflight(it.Send, it.Recv); err != nil {
+			return nil, err
+		}
+	}
+	f := newFuture(items[0].C.r.sys.Engine, len(items))
+	for _, it := range items {
+		it := it
+		if err := it.C.LaunchCB(p, it.Send, it.Recv, func() {
+			f.completeOne(it.C.r.CoreExecTime(it.C.id))
+		}); err != nil {
+			// Unreachable after preflight; surface it rather than hang.
+			return nil, err
+		}
+	}
+	return f, nil
+}

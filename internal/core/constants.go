@@ -79,6 +79,11 @@ const (
 	// slots, managed as a direct-mapped cache (Sec. 5).
 	ActiveContextSlots = 2
 
+	// DefaultCollectiveGrid is the number of thread blocks a collective
+	// needs when Open is not given WithGrid; the daemon kernel's grid is
+	// the maximum over registered collectives.
+	DefaultCollectiveGrid = 8
+
 	// ActiveSlotBytes is the shared-memory size of one active slot
 	// (dynamic context staged for execution).
 	ActiveSlotBytes = 384

@@ -59,7 +59,13 @@ func (r *RankContext) daemonBody(kc *cudasim.KernelCtx) {
 			t := queue[i]
 			if !t.prepared {
 				if len(t.runs) == 0 {
-					continue // nothing to do; removed below
+					// Nothing to do (a redundant SQE for an already-
+					// drained task): drop it so a later Unregister never
+					// leaves a dangling entry in the live queue.
+					t.inQueue = false
+					queue = append(queue[:i], queue[i+1:]...)
+					i--
+					continue
 				}
 				t.exec.Reset(t.runs[0].send, t.runs[0].recv)
 				t.prepared = true
@@ -160,6 +166,13 @@ func (r *RankContext) fetchSQEs(p *sim.Process, queue *[]*collTask, lastActivity
 		}
 		t := r.tasks[sqe.CollID]
 		p.Sleep(ParseSQETime)
+		if t == nil {
+			// Stale SQE: after a voluntary quit, a restarted daemon
+			// rebuilds its queue from global-memory contexts without
+			// consuming pending SQEs, so an entry can surface after its
+			// collective already completed and was unregistered.
+			continue
+		}
 		if !t.inQueue {
 			t.inQueue = true
 			r.enqueueCounter++

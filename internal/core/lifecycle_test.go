@@ -1,0 +1,583 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// testBarrier synchronizes n simulated processes (local copy of the
+// bench harness barrier; core cannot import bench).
+type testBarrier struct {
+	n, arrived, gen int
+	cond            *sim.Cond
+}
+
+func newTestBarrier(n int) *testBarrier {
+	return &testBarrier{n: n, cond: sim.NewCond("test.barrier")}
+}
+
+func (b *testBarrier) Wait(p *sim.Process) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast(p.Engine())
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait(p)
+	}
+}
+
+func lifecycleSpec(count int, ranks []int) prim.Spec {
+	return prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float64, Op: mem.Sum, Ranks: ranks}
+}
+
+// TestCommPoolReuse churns open → launch → wait → close across many
+// distinct collective IDs over the same rank set and asserts the pool
+// recycles the one communicator: Created() stays flat at 1.
+func TestCommPoolReuse(t *testing.T) {
+	const n, cycles, count = 2, 6, 64
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(120 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(n), DefaultConfig())
+	ranks := []int{0, 1}
+	bar := newTestBarrier(n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn("churn", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			for cy := 0; cy < cycles; cy++ {
+				coll, err := rc.Open(lifecycleSpec(count, ranks), WithCollID(100+cy))
+				if err != nil {
+					t.Errorf("cycle %d open: %v", cy, err)
+					return
+				}
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+				d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+				s.Fill(1)
+				fut, err := coll.Launch(p, s, d)
+				if err != nil {
+					t.Errorf("cycle %d launch: %v", cy, err)
+					return
+				}
+				if err := fut.Wait(p); err != nil {
+					t.Errorf("cycle %d wait: %v", cy, err)
+					return
+				}
+				if got := d.Float64At(0); got != float64(n) {
+					t.Errorf("cycle %d: sum = %v, want %v", cy, got, float64(n))
+				}
+				if err := coll.Close(p); err != nil {
+					t.Errorf("cycle %d close: %v", cy, err)
+					return
+				}
+				bar.Wait(p)
+			}
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.CommsCreated(); got != 1 {
+		t.Fatalf("CommsCreated = %d after %d open/close cycles, want 1 (pool must recycle)", got, cycles)
+	}
+	if got := sys.CommsPooled(); got != 1 {
+		t.Fatalf("CommsPooled = %d, want 1", got)
+	}
+	if got := sys.NumRegistered(); got != 0 {
+		t.Fatalf("NumRegistered = %d after closing everything, want 0", got)
+	}
+}
+
+// TestRegistrationChurnKeepsPoolFlat is the registration-only variant:
+// no launches at all, many distinct IDs, one communicator ever built.
+func TestRegistrationChurnKeepsPoolFlat(t *testing.T) {
+	e := sim.NewEngine()
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	e.Spawn("driver", func(p *sim.Process) {
+		r0 := sys.Init(p, 0)
+		r1 := sys.Init(p, 1)
+		for cy := 0; cy < 50; cy++ {
+			c0, err := r0.Open(lifecycleSpec(16, ranks), WithCollID(cy))
+			if err != nil {
+				t.Errorf("open r0: %v", err)
+				return
+			}
+			c1, err := r1.Open(lifecycleSpec(16, ranks), WithCollID(cy))
+			if err != nil {
+				t.Errorf("open r1: %v", err)
+				return
+			}
+			if err := c0.Close(p); err != nil {
+				t.Errorf("close r0: %v", err)
+			}
+			if err := c1.Close(p); err != nil {
+				t.Errorf("close r1: %v", err)
+			}
+		}
+		r0.Destroy(p)
+		r1.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.CommsCreated(); got != 1 {
+		t.Fatalf("CommsCreated = %d after 50 register/close cycles, want 1", got)
+	}
+}
+
+// TestCloseLifecycle covers the Close contract: double-Close is a
+// no-op, Launch after Close errors, and the ID is reusable after a
+// full close.
+func TestCloseLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	bar := newTestBarrier(2)
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("close", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(lifecycleSpec(32, ranks), WithCollID(7))
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 32)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 32)
+			fut, err := coll.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			if err := coll.Close(p); err != nil {
+				t.Errorf("first close: %v", err)
+			}
+			if err := coll.Close(p); err != nil {
+				t.Errorf("double close must be a no-op, got: %v", err)
+			}
+			if !coll.Closed() {
+				t.Error("Closed() = false after Close")
+			}
+			if _, err := coll.Launch(p, s, d); err == nil {
+				t.Error("Launch after Close must error")
+			}
+			if err := coll.LaunchCB(p, s, d, nil); err == nil {
+				t.Error("LaunchCB after Close must error")
+			}
+			bar.Wait(p)
+			// The fully-closed ID is free for a new registration, which
+			// reuses the pooled communicator.
+			again, err := rc.Open(lifecycleSpec(32, ranks), WithCollID(7))
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			bar.Wait(p)
+			if err := again.Close(p); err != nil {
+				t.Errorf("reclose: %v", err)
+			}
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := sys.CommsCreated(); got != 1 {
+		t.Fatalf("CommsCreated = %d, want 1 (reopen must reuse the pooled communicator)", got)
+	}
+}
+
+// TestCloseWithOutstandingRunsErrors pins the safety rail: a
+// collective with an in-flight run refuses to close, then closes
+// cleanly after the run completes.
+func TestCloseWithOutstandingRunsErrors(t *testing.T) {
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("busyclose", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(lifecycleSpec(512, ranks), WithCollID(3))
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 512)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 512)
+			fut, err := coll.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if err := coll.Close(p); err == nil {
+				t.Error("Close with an outstanding run must error")
+			}
+			if coll.Closed() {
+				t.Error("failed Close must not mark the handle closed")
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			if err := coll.Close(p); err != nil {
+				t.Errorf("close after completion: %v", err)
+			}
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFutureCarriesCoreExecTime checks that Wait resolves with the
+// run's core-execution timing and that Stats mirrors it.
+func TestFutureCarriesCoreExecTime(t *testing.T) {
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	var futs [2]*Future
+	var stats [2]CollectiveStats
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("timing", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(lifecycleSpec(4096, ranks))
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 4096)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 4096)
+			fut, err := coll.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if fut.Done() {
+				t.Error("future done before the daemon ran")
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			futs[rank] = fut
+			stats[rank] = coll.Stats()
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank, fut := range futs {
+		if fut == nil {
+			t.Fatalf("rank %d: no future", rank)
+		}
+		if !fut.Done() {
+			t.Fatalf("rank %d: future not done", rank)
+		}
+		if fut.CoreExecTime() <= 0 {
+			t.Fatalf("rank %d: CoreExecTime = %v, want > 0", rank, fut.CoreExecTime())
+		}
+		if stats[rank].Completions != 1 {
+			t.Fatalf("rank %d: Completions = %d, want 1", rank, stats[rank].Completions)
+		}
+		if stats[rank].LastCoreExec != fut.CoreExecTime() {
+			t.Fatalf("rank %d: Stats.LastCoreExec = %v, future = %v",
+				rank, stats[rank].LastCoreExec, fut.CoreExecTime())
+		}
+	}
+}
+
+// TestBatchJoinedFuture launches several collectives per rank in one
+// Batch and checks the joined future accounts for every run.
+func TestBatchJoinedFuture(t *testing.T) {
+	const nColl = 4
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("batch", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			var items []BatchItem
+			for c := 0; c < nColl; c++ {
+				coll, err := rc.Open(lifecycleSpec(64, ranks), WithCollID(c))
+				if err != nil {
+					t.Errorf("open %d: %v", c, err)
+					return
+				}
+				items = append(items, BatchItem{
+					C:    coll,
+					Send: mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64),
+					Recv: mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64),
+				})
+			}
+			fut, err := Batch(p, items...)
+			if err != nil {
+				t.Errorf("batch: %v", err)
+				return
+			}
+			if fut.Runs() != nColl {
+				t.Errorf("Runs = %d, want %d", fut.Runs(), nColl)
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			if fut.CoreExecTime() <= 0 {
+				t.Errorf("joined CoreExecTime = %v, want > 0", fut.CoreExecTime())
+			}
+			if rc.Outstanding() != 0 {
+				t.Errorf("Outstanding = %d after joined wait, want 0", rc.Outstanding())
+			}
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestBatchValidatesBeforeSubmitting checks that a bad item rejects
+// the whole batch without submitting anything.
+func TestBatchValidatesBeforeSubmitting(t *testing.T) {
+	e := sim.NewEngine()
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	e.Spawn("badbatch", func(p *sim.Process) {
+		rc := sys.Init(p, 0)
+		good, err := rc.Open(lifecycleSpec(64, ranks), WithCollID(1))
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		ok := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+		bad := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 3)
+		if _, err := Batch(p,
+			BatchItem{C: good, Send: ok, Recv: ok},
+			BatchItem{C: good, Send: bad, Recv: ok},
+		); err == nil {
+			t.Error("batch with a mis-sized buffer must error")
+		}
+		if rc.Outstanding() != 0 {
+			t.Errorf("Outstanding = %d after rejected batch, want 0 (nothing may be submitted)", rc.Outstanding())
+		}
+		rc.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestSameSpecComparesTimingOnly pins the sameSpec fix: re-registering
+// an ID with only TimingOnly flipped must be rejected.
+func TestSameSpecComparesTimingOnly(t *testing.T) {
+	e := sim.NewEngine()
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	e.Spawn("timingonly", func(p *sim.Process) {
+		r0 := sys.Init(p, 0)
+		r1 := sys.Init(p, 1)
+		spec := lifecycleSpec(64, ranks)
+		if _, err := r0.Open(spec, WithCollID(1)); err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := r1.Open(spec.Timing(), WithCollID(1)); err == nil ||
+			!strings.Contains(err.Error(), "different spec") {
+			t.Errorf("TimingOnly mismatch must be rejected, got: %v", err)
+		}
+		r0.Destroy(p)
+		r1.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestNilBufferLaunchErrors pins the checkBufferSizes fix: launching a
+// non-timing collective with nil buffers returns an error instead of
+// dereferencing nil.
+func TestNilBufferLaunchErrors(t *testing.T) {
+	e := sim.NewEngine()
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	e.Spawn("nilbuf", func(p *sim.Process) {
+		rc := sys.Init(p, 0)
+		coll, err := rc.Open(lifecycleSpec(64, ranks), WithCollID(1))
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if _, err := coll.Launch(p, nil, nil); err == nil ||
+			!strings.Contains(err.Error(), "nil buffer") {
+			t.Errorf("nil-buffer launch must error, got: %v", err)
+		}
+		// Timing-only collectives accept nil buffers by design.
+		tcoll, err := rc.Open(lifecycleSpec(64, ranks).Timing(), WithCollID(2))
+		if err != nil {
+			t.Errorf("open timing: %v", err)
+			return
+		}
+		if err := tcoll.preflight(nil, nil); err != nil {
+			t.Errorf("timing-only preflight with nil buffers: %v", err)
+		}
+		rc.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFailedOpenLeavesNoZombieGroup checks that an Open rejected by
+// per-rank validation (rank outside the devSet) creates no group and
+// acquires no communicator — a refs==0 group would be unreleasable.
+func TestFailedOpenLeavesNoZombieGroup(t *testing.T) {
+	e := sim.NewEngine()
+	sys := NewSystem(e, topo.Server3090(4), DefaultConfig())
+	e.Spawn("zombie", func(p *sim.Process) {
+		outsider := sys.Init(p, 3)
+		if _, err := outsider.Open(lifecycleSpec(64, []int{0, 1}), WithCollID(1)); err == nil ||
+			!strings.Contains(err.Error(), "not in devSet") {
+			t.Errorf("open from outside the devSet must error, got: %v", err)
+		}
+		if got := sys.NumRegistered(); got != 0 {
+			t.Errorf("NumRegistered = %d after failed open, want 0", got)
+		}
+		if got := sys.CommsCreated(); got != 0 {
+			t.Errorf("CommsCreated = %d after failed open, want 0", got)
+		}
+		outsider.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestClosedHandleReportsZeroStats pins the stale-handle contract:
+// after Close and ID reuse, the old handle must not leak the
+// successor's spec or statistics.
+func TestClosedHandleReportsZeroStats(t *testing.T) {
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	bar := newTestBarrier(2)
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		e.Spawn("stale", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			old, err := rc.Open(lifecycleSpec(32, ranks), WithCollID(1))
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			bar.Wait(p) // both ranks registered before either closes
+			if err := old.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+				return
+			}
+			bar.Wait(p) // full close before the ID is reused
+			// Reuse the ID with a different spec and run it.
+			succ, err := rc.Open(lifecycleSpec(64, ranks), WithCollID(1))
+			if err != nil {
+				t.Errorf("reopen: %v", err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
+			fut, err := succ.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			if got := old.Stats(); got != (CollectiveStats{}) {
+				t.Errorf("stale handle Stats = %+v, want zero", got)
+			}
+			if got := old.Spec(); got.Count != 0 {
+				t.Errorf("stale handle Spec = %+v, want zero", got)
+			}
+			if got := succ.Stats(); got.Completions != 1 {
+				t.Errorf("successor Completions = %d, want 1", got.Completions)
+			}
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestAutoCollIDConvergence checks that ranks opening identical specs
+// in the same per-spec order converge on the same system-assigned IDs,
+// and that distinct specs get distinct IDs.
+func TestAutoCollIDConvergence(t *testing.T) {
+	e := sim.NewEngine()
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+	e.Spawn("autoid", func(p *sim.Process) {
+		r0 := sys.Init(p, 0)
+		r1 := sys.Init(p, 1)
+		a0, err := r0.Open(lifecycleSpec(64, ranks))
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		b0, err := r0.Open(lifecycleSpec(64, ranks)) // same spec again
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		c0, err := r0.Open(lifecycleSpec(128, ranks)) // different spec
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		a1, err := r1.Open(lifecycleSpec(64, ranks))
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if a0.ID() != a1.ID() {
+			t.Errorf("first opens of the same spec diverged: %d vs %d", a0.ID(), a1.ID())
+		}
+		if a0.ID() == b0.ID() {
+			t.Error("two live opens of the same spec on one rank must get distinct IDs")
+		}
+		if c0.ID() == a0.ID() || c0.ID() == b0.ID() {
+			t.Error("different spec must get a different ID")
+		}
+		if a0.ID() < AutoCollIDBase {
+			t.Errorf("auto ID %d below AutoCollIDBase", a0.ID())
+		}
+		r0.Destroy(p)
+		r1.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -126,53 +126,104 @@ func (s *System) Init(p *sim.Process, rank int) *RankContext {
 	return r
 }
 
-// Register registers a collective on this rank — dfcclRegister*. All
-// participating ranks must register the same collective ID with the
-// same spec. Registration is cheap and can also happen dynamically at
-// runtime.
-func (r *RankContext) Register(spec prim.Spec, collID, priority int) error {
+// register is the registration workhorse behind Open and the
+// deprecated Register* shims: it creates (or joins) the cross-rank
+// group and installs the per-rank task.
+func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error {
 	if r.destroyed {
 		return fmt.Errorf("core: rank %d context destroyed", r.Rank)
 	}
-	g, err := r.sys.register(spec, collID, priority)
-	if err != nil {
-		return err
-	}
-	pos, ok := g.posOf[r.Rank]
-	if !ok {
-		return fmt.Errorf("core: rank %d not in devSet of collective %d", r.Rank, collID)
-	}
+	// Per-rank validations run before the system-level register so a
+	// failed call never leaves behind a refs==0 group holding a
+	// communicator that no Unregister can ever release.
 	if _, dup := r.tasks[collID]; dup {
 		return fmt.Errorf("core: collective %d already registered on rank %d", collID, r.Rank)
 	}
+	inSet := false
+	for _, rank := range spec.Ranks {
+		if rank == r.Rank {
+			inSet = true
+			break
+		}
+	}
+	if !inSet {
+		return fmt.Errorf("core: rank %d not in devSet of collective %d", r.Rank, collID)
+	}
+	g, err := r.sys.register(spec, collID, priority, grid)
+	if err != nil {
+		return err
+	}
+	pos := g.posOf[r.Rank]
 	r.tasks[collID] = &collTask{
 		group: g,
 		exec:  g.comm.ring.ExecutorFor(r.sys.Cluster, g.Spec, pos, nil, nil),
 	}
+	g.refs++
+	return nil
+}
+
+// Register registers a collective on this rank by explicit ID — the
+// paper-literal dfcclRegister* layer. All participating ranks must
+// register the same collective ID with the same spec. Registration is
+// cheap and can also happen dynamically at runtime.
+//
+// Deprecated: use Open, which returns a *Collective handle with
+// launch, stats, and lifecycle (Close) methods.
+func (r *RankContext) Register(spec prim.Spec, collID, priority int) error {
+	return r.register(spec, collID, priority, 0)
+}
+
+// Unregister removes a collective's registration from this rank — the
+// inverse of Register that the paper's API lacks. When the last
+// participating rank unregisters, the group's communicator returns to
+// the pool. Unregistering with outstanding runs is an error.
+func (r *RankContext) Unregister(collID int) error {
+	t, ok := r.tasks[collID]
+	if !ok {
+		return fmt.Errorf("core: collective %d not registered on rank %d", collID, r.Rank)
+	}
+	if len(t.runs) > 0 || len(r.callbacks[collID]) > 0 {
+		return fmt.Errorf("core: collective %d has %d outstanding run(s) on rank %d; wait for completion before Close/Unregister",
+			collID, len(r.callbacks[collID]), r.Rank)
+	}
+	delete(r.tasks, collID)
+	delete(r.callbacks, collID)
+	r.sys.unregister(t.group)
 	return nil
 }
 
 // RegisterAllReduce registers an all-reduce — dfcclRegisterAllReduce.
+//
+// Deprecated: use Open(prim.Spec{Kind: prim.AllReduce, ...}) or the
+// dfccl.AllReduce builder.
 func (r *RankContext) RegisterAllReduce(collID, count int, t mem.DataType, op mem.ReduceOp, devSet []int, priority int) error {
 	return r.Register(prim.Spec{Kind: prim.AllReduce, Count: count, Type: t, Op: op, Ranks: devSet}, collID, priority)
 }
 
 // RegisterAllGather registers an all-gather (count per rank).
+//
+// Deprecated: use Open with the dfccl.AllGather builder.
 func (r *RankContext) RegisterAllGather(collID, count int, t mem.DataType, devSet []int, priority int) error {
 	return r.Register(prim.Spec{Kind: prim.AllGather, Count: count, Type: t, Ranks: devSet}, collID, priority)
 }
 
 // RegisterReduceScatter registers a reduce-scatter (count = total send).
+//
+// Deprecated: use Open with the dfccl.ReduceScatter builder.
 func (r *RankContext) RegisterReduceScatter(collID, count int, t mem.DataType, op mem.ReduceOp, devSet []int, priority int) error {
 	return r.Register(prim.Spec{Kind: prim.ReduceScatter, Count: count, Type: t, Op: op, Ranks: devSet}, collID, priority)
 }
 
 // RegisterBroadcast registers a broadcast; root indexes devSet.
+//
+// Deprecated: use Open with the dfccl.Broadcast builder.
 func (r *RankContext) RegisterBroadcast(collID, count int, t mem.DataType, root int, devSet []int, priority int) error {
 	return r.Register(prim.Spec{Kind: prim.Broadcast, Count: count, Type: t, Root: root, Ranks: devSet}, collID, priority)
 }
 
 // RegisterReduce registers a reduce; root indexes devSet.
+//
+// Deprecated: use Open with the dfccl.Reduce builder.
 func (r *RankContext) RegisterReduce(collID, count int, t mem.DataType, op mem.ReduceOp, root int, devSet []int, priority int) error {
 	return r.Register(prim.Spec{Kind: prim.Reduce, Count: count, Type: t, Op: op, Root: root, Ranks: devSet}, collID, priority)
 }
@@ -204,6 +255,9 @@ func (r *RankContext) Run(p *sim.Process, collID int, sendBuf, recvBuf *mem.Buff
 // RunAllReduce invokes a registered all-reduce — dfcclRunAllReduce.
 // It is an alias of Run with the paper's Listing 1 name; the generic
 // Run works for every registered collective kind.
+//
+// Deprecated: use (*Collective).Launch or LaunchCB on a handle from
+// Open.
 func (r *RankContext) RunAllReduce(p *sim.Process, collID int, sendBuf, recvBuf *mem.Buffer, cb Callback) error {
 	return r.Run(p, collID, sendBuf, recvBuf, cb)
 }
@@ -211,6 +265,9 @@ func (r *RankContext) RunAllReduce(p *sim.Process, collID int, sendBuf, recvBuf 
 func checkBufferSizes(spec prim.Spec, sendBuf, recvBuf *mem.Buffer) error {
 	if spec.TimingOnly {
 		return nil
+	}
+	if sendBuf == nil || recvBuf == nil {
+		return fmt.Errorf("core: %v launched with nil buffer(s); non-timing collectives need real send/recv buffers", spec.Kind)
 	}
 	wantSend, wantRecv := prim.BufferCounts(spec)
 	if sendBuf.Len() != wantSend {

@@ -23,18 +23,30 @@ type System struct {
 	ranks  []*RankContext
 	groups map[int]*Group
 	pool   *commPool
+
+	// autoIDs maps a spec fingerprint to the collective IDs the system
+	// has assigned for it (in allocation order); nextAutoID is the next
+	// system-assigned ID.
+	autoIDs    map[string][]int
+	nextAutoID int
 }
+
+// AutoCollIDBase is the first system-assigned collective ID; explicit
+// IDs (WithCollID, the Register* shims) should stay below it.
+const AutoCollIDBase = 1 << 20
 
 // NewSystem creates the deployment. Rank contexts are created lazily by
 // Init, mirroring dfcclInit.
 func NewSystem(e *sim.Engine, c *topo.Cluster, cfg Config) *System {
 	s := &System{
-		Engine:  e,
-		Cluster: c,
-		Config:  cfg,
-		ranks:   make([]*RankContext, c.Size()),
-		groups:  make(map[int]*Group),
-		pool:    newCommPool(c),
+		Engine:     e,
+		Cluster:    c,
+		Config:     cfg,
+		ranks:      make([]*RankContext, c.Size()),
+		groups:     make(map[int]*Group),
+		pool:       newCommPool(c),
+		autoIDs:    make(map[string][]int),
+		nextAutoID: AutoCollIDBase,
 	}
 	for _, g := range c.GPUs {
 		s.Devs = append(s.Devs, cudasim.NewDevice(e, g.Rank, g.Model))
@@ -55,15 +67,22 @@ type Group struct {
 	comm     *communicator
 	// posOf maps global rank -> ring position.
 	posOf map[int]int
+	// refs counts ranks currently registered; when the last rank
+	// unregisters, the group is dropped and its communicator returns to
+	// the pool.
+	refs int
 }
 
 // Register registers a collective with the system, creating the group
 // on first call and validating consistency on subsequent calls from
 // other ranks (every participant registers the same collective ID with
 // the same spec, as with dfcclRegister*).
-func (s *System) register(spec prim.Spec, collID, priority int) (*Group, error) {
+func (s *System) register(spec prim.Spec, collID, priority, grid int) (*Group, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if grid <= 0 {
+		grid = DefaultCollectiveGrid
 	}
 	if g, ok := s.groups[collID]; ok {
 		if !sameSpec(g.Spec, spec) {
@@ -78,7 +97,7 @@ func (s *System) register(spec prim.Spec, collID, priority int) (*Group, error) 
 		ID:       collID,
 		Spec:     spec,
 		Priority: priority,
-		Grid:     8,
+		Grid:     grid,
 		comm:     s.pool.acquire(spec.Ranks, fmt.Sprintf("coll%d", collID)),
 		posOf:    make(map[int]int, len(spec.Ranks)),
 	}
@@ -89,8 +108,47 @@ func (s *System) register(spec prim.Spec, collID, priority int) (*Group, error) 
 	return g, nil
 }
 
+// unregister drops one rank's registration of a group; the last rank
+// out releases the communicator back to the pool and frees the
+// collective ID (including its auto-ID binding).
+func (s *System) unregister(g *Group) {
+	g.refs--
+	if g.refs > 0 {
+		return
+	}
+	s.pool.release(g.comm)
+	delete(s.groups, g.ID)
+	key := g.Spec.Fingerprint()
+	ids := s.autoIDs[key]
+	for i, id := range ids {
+		if id == g.ID {
+			s.autoIDs[key] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// autoCollID assigns a deterministic collective ID for a spec opened
+// without WithCollID: the first already-assigned ID for this spec that
+// the rank does not currently have open, else a fresh ID. Ranks that
+// open identical specs in the same per-spec order therefore converge
+// on the same IDs without coordination.
+func (s *System) autoCollID(r *RankContext, spec prim.Spec) int {
+	key := spec.Fingerprint()
+	for _, id := range s.autoIDs[key] {
+		if _, open := r.tasks[id]; !open {
+			return id
+		}
+	}
+	id := s.nextAutoID
+	s.nextAutoID++
+	s.autoIDs[key] = append(s.autoIDs[key], id)
+	return id
+}
+
 func sameSpec(a, b prim.Spec) bool {
-	if a.Kind != b.Kind || a.Count != b.Count || a.Type != b.Type || a.Op != b.Op || a.Root != b.Root || len(a.Ranks) != len(b.Ranks) {
+	if a.Kind != b.Kind || a.Count != b.Count || a.Type != b.Type || a.Op != b.Op || a.Root != b.Root ||
+		a.TimingOnly != b.TimingOnly || a.ChunkElems != b.ChunkElems || len(a.Ranks) != len(b.Ranks) {
 		return false
 	}
 	for i := range a.Ranks {
@@ -103,6 +161,20 @@ func sameSpec(a, b prim.Spec) bool {
 
 // NumRegistered returns the number of registered collectives.
 func (s *System) NumRegistered() int { return len(s.groups) }
+
+// CommsCreated reports how many communicators were ever constructed —
+// flat under open/close churn when the pool recycles them.
+func (s *System) CommsCreated() int { return s.pool.Created() }
+
+// CommsPooled reports how many released communicators are currently
+// available for reuse.
+func (s *System) CommsPooled() int {
+	n := 0
+	for _, frees := range s.pool.free {
+		n += len(frees)
+	}
+	return n
+}
 
 // communicator owns a ring for one registered collective; the pool
 // hands one out per collective so concurrently executing collectives

@@ -11,13 +11,15 @@ import (
 )
 
 // DFCCL is the backend built on the paper's library: collectives are
-// registered once and invoked asynchronously through the SQ; the daemon
-// kernel schedules and preempts them, so no CPU orchestration of launch
-// order is needed — ranks may launch in any order.
+// opened once as typed handles and invoked asynchronously through the
+// SQ; the daemon kernel schedules and preempts them, so no CPU
+// orchestration of launch order is needed — ranks may launch in any
+// order.
 type DFCCL struct {
-	Sys   *System
-	colls map[int]*collState
-	bufs  map[bufKey]bufPair
+	Sys     *System
+	colls   map[int]*collState
+	handles map[bufKey]*core.Collective
+	bufs    map[bufKey]bufPair
 }
 
 // System aliases core.System so callers can reach the underlying rank
@@ -30,16 +32,18 @@ type bufPair struct{ send, recv *mem.Buffer }
 // NewDFCCL builds a DFCCL backend over a cluster.
 func NewDFCCL(e *sim.Engine, c *topo.Cluster, cfg core.Config) *DFCCL {
 	return &DFCCL{
-		Sys:   core.NewSystem(e, c, cfg),
-		colls: make(map[int]*collState),
-		bufs:  make(map[bufKey]bufPair),
+		Sys:     core.NewSystem(e, c, cfg),
+		colls:   make(map[int]*collState),
+		handles: make(map[bufKey]*core.Collective),
+		bufs:    make(map[bufKey]bufPair),
 	}
 }
 
 // Name implements Backend.
 func (d *DFCCL) Name() string { return "dfccl" }
 
-// Register implements Backend.
+// Register implements Backend: Open by explicit collective ID, keeping
+// the per-rank handle for Launch and Close.
 func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
 	if err := validateRegister(d.colls, collID, spec); err != nil {
 		return err
@@ -48,9 +52,11 @@ func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, prior
 		d.colls[collID] = newCollState(spec, priority)
 	}
 	rc := d.Sys.Init(p, rank)
-	if err := rc.Register(spec, collID, priority); err != nil {
+	h, err := rc.Open(spec, core.WithCollID(collID), core.WithPriority(priority))
+	if err != nil {
 		return err
 	}
+	d.handles[bufKey{rank, collID}] = h
 	sendCount, recvCount := prim.BufferCounts(spec)
 	if spec.TimingOnly {
 		sendCount, recvCount = 0, 0
@@ -62,17 +68,21 @@ func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, prior
 	return nil
 }
 
-// Launch implements Backend: dfcclRun* with a completion callback.
+// Launch implements Backend: an asynchronous handle launch with a
+// completion callback.
 func (d *DFCCL) Launch(p *sim.Process, rank, collID int) error {
 	c, ok := d.colls[collID]
 	if !ok {
 		return fmt.Errorf("orch: collective %d not registered", collID)
 	}
+	h := d.handles[bufKey{rank, collID}]
+	if h == nil {
+		return fmt.Errorf("orch: collective %d not registered on rank %d", collID, rank)
+	}
 	bufs := d.bufs[bufKey{rank, collID}]
-	rc := d.Sys.Init(p, rank)
 	c.launched[rank]++
 	e := p.Engine()
-	return rc.Run(p, collID, bufs.send, bufs.recv, func() {
+	return h.LaunchCB(p, bufs.send, bufs.recv, func() {
 		c.done[rank]++
 		c.doneCond.Broadcast(e)
 	})

@@ -77,6 +77,23 @@ type Spec struct {
 	TimingOnly bool
 }
 
+// Timing returns a copy of the spec with TimingOnly set: the
+// collective behaves identically for scheduling and time charging but
+// moves no bytes. Builder-style helper for performance experiments.
+func (s Spec) Timing() Spec {
+	s.TimingOnly = true
+	return s
+}
+
+// Fingerprint returns a string that identifies the spec up to the
+// equality the registration layer enforces (every field that sameSpec
+// compares). Specs with equal fingerprints are interchangeable for
+// collective-ID assignment and communicator pooling.
+func (s Spec) Fingerprint() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%t|%v",
+		int(s.Kind), s.Count, int(s.Type), int(s.Op), s.Root, s.ChunkElems, s.TimingOnly, s.Ranks)
+}
+
 func (s Spec) chunk() int {
 	if s.ChunkElems > 0 {
 		return s.ChunkElems
