@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test ci
+.PHONY: all fmt vet build test ci smoke
 
 all: ci
 
@@ -20,3 +20,17 @@ test:
 	$(GO) test ./...
 
 ci: fmt vet build test
+
+# smoke is the fast all-in-one gate: formatting, static checks, and a
+# minimal-iteration pass through every cmd/* entry point. Runs in a few
+# seconds; see TESTING.md.
+smoke: fmt vet build
+	$(GO) run ./cmd/overhead > /dev/null
+	$(GO) run ./cmd/dlprevent -iters 2 > /dev/null
+	$(GO) run ./cmd/dlprevent -lib nccl > /dev/null
+	$(GO) run ./cmd/collbench -fig 9 -iters 1 > /dev/null
+	$(GO) run ./cmd/deadlocksim -rounds 100 -filter "sq-free(1,8)" > /dev/null
+	$(GO) run ./cmd/trainbench -fig 11 -iters 1 > /dev/null
+	$(GO) run ./cmd/trainbench -fig moe -iters 2 -trials 1 > /dev/null
+	$(GO) run ./cmd/trainbench -fig zero -iters 2 -trials 1 > /dev/null
+	@echo "smoke: all entry points OK"

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"dfccl/internal/bench"
 )
@@ -26,16 +25,13 @@ func main() {
 	filter := flag.String("filter", "", "only run configurations whose name contains this substring")
 	flag.Parse()
 
-	rows, err := bench.Table1(*rounds, *bigRounds)
+	rows, err := bench.Table1Filtered(*rounds, *bigRounds, *filter)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deadlocksim:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%-44s %10s %10s\n", "configuration", "measured", "paper")
 	for _, r := range rows {
-		if *filter != "" && !strings.Contains(r.Name, *filter) {
-			continue
-		}
 		fmt.Printf("%-44s %9.2f%% %9.2f%%\n", r.Name, 100*r.Measured, 100*r.Paper)
 	}
 }

@@ -66,8 +66,8 @@ type (
 	TraceRecorder = trace.Recorder
 
 	// Spec describes one collective operation; build one with the
-	// AllReduce/AllGather/ReduceScatter/Broadcast/Reduce constructors
-	// and pass it to (*RankContext).Open.
+	// AllReduce/AllGather/ReduceScatter/Broadcast/Reduce/AllToAll
+	// constructors and pass it to (*RankContext).Open.
 	Spec = prim.Spec
 	// Collective is a typed handle to one registered collective on one
 	// rank: Launch/LaunchCB to invoke, Stats to observe, Close to
@@ -123,6 +123,16 @@ func Broadcast(count int, t DataType, root int, devSet ...int) Spec {
 // Reduce builds the spec of a reduce over devSet; root indexes devSet.
 func Reduce(count int, t DataType, op ReduceOp, root int, devSet ...int) Spec {
 	return Spec{Kind: prim.Reduce, Count: count, Type: t, Op: op, Root: root, Ranks: devSet}
+}
+
+// AllToAll builds the spec of an all-to-all over devSet: every rank
+// sends a distinct count-element block to every peer and receives one
+// from each, the dispatch/combine exchange of MoE expert parallelism.
+// Send and recv buffers both hold count×N elements; block j of the
+// send buffer goes to devSet[j], block i of the recv buffer came from
+// devSet[i].
+func AllToAll(count int, t DataType, devSet ...int) Spec {
+	return Spec{Kind: prim.AllToAll, Count: count, Type: t, Ranks: devSet}
 }
 
 // Batch submits several collective runs at once and returns a joined

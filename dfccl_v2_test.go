@@ -138,6 +138,7 @@ func TestV2BuildersMatchKinds(t *testing.T) {
 				dfccl.ReduceScatter(64, dfccl.Float64, dfccl.Sum, ranks...),
 				dfccl.Broadcast(32, dfccl.Float64, 2, ranks...),
 				dfccl.Reduce(32, dfccl.Float64, dfccl.Max, 1, ranks...),
+				dfccl.AllToAll(8, dfccl.Float64, ranks...),
 			}
 			var futs []*dfccl.Future
 			for i, spec := range specs {
@@ -154,6 +155,8 @@ func TestV2BuildersMatchKinds(t *testing.T) {
 					sendCount, recvCount = 64, 16
 				case 3, 4:
 					sendCount, recvCount = 32, 32
+				case 5:
+					sendCount, recvCount = 32, 32 // 8 per peer × 4 ranks
 				}
 				fut, err := coll.Launch(p,
 					dfccl.NewBuffer(dfccl.Float64, sendCount),
@@ -187,5 +190,101 @@ func TestV2BuildersMatchKinds(t *testing.T) {
 	}
 	if err := lib.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestV2AllToAll drives the all-to-all collective through the full
+// DFCCL stack (daemon kernel, SQ/CQ, preemption machinery) across
+// three launch modes: real data, TimingOnly, and the nil-buffer error
+// path.
+func TestV2AllToAll(t *testing.T) {
+	cases := []struct {
+		name       string
+		n          int
+		count      int
+		timingOnly bool
+		nilBufs    bool
+		wantErr    bool
+	}{
+		{name: "numeric-4", n: 4, count: 16},
+		{name: "numeric-uneven-3", n: 3, count: 10},
+		{name: "numeric-uneven-5", n: 5, count: 7},
+		{name: "timing-only", n: 4, count: 4096, timingOnly: true},
+		{name: "nil-buffers-rejected", n: 4, count: 16, nilBufs: true, wantErr: true},
+		{name: "timing-only-nil-ok", n: 4, count: 4096, timingOnly: true, nilBufs: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			lib := dfccl.New(dfccl.Server3090(8))
+			lib.SetTimeLimit(60 * dfccl.Second)
+			ranks := make([]int, tc.n)
+			for i := range ranks {
+				ranks[i] = i
+			}
+			spec := dfccl.AllToAll(tc.count, dfccl.Float64, ranks...)
+			if tc.timingOnly {
+				spec = spec.Timing()
+			}
+			recvs := make([]*dfccl.Buffer, tc.n)
+			launchErrs := make([]error, tc.n)
+			for rank := 0; rank < tc.n; rank++ {
+				rank := rank
+				lib.Go("rank", func(p *dfccl.Process) {
+					ctx := lib.Init(p, rank)
+					coll, err := ctx.Open(spec)
+					if err != nil {
+						t.Errorf("open: %v", err)
+						return
+					}
+					var send, recv *dfccl.Buffer
+					if !tc.nilBufs {
+						send = dfccl.NewBuffer(dfccl.Float64, tc.count*tc.n)
+						recv = dfccl.NewBuffer(dfccl.Float64, tc.count*tc.n)
+						for dst := 0; dst < tc.n; dst++ {
+							for i := 0; i < tc.count; i++ {
+								send.SetFloat64(dst*tc.count+i, float64(1000*rank+100*dst+i))
+							}
+						}
+						recvs[rank] = recv
+					}
+					fut, err := coll.Launch(p, send, recv)
+					launchErrs[rank] = err
+					if err == nil {
+						if werr := fut.Wait(p); werr != nil {
+							t.Errorf("wait: %v", werr)
+						}
+						if cerr := coll.Close(p); cerr != nil {
+							t.Errorf("close: %v", cerr)
+						}
+					}
+					ctx.Destroy(p)
+				})
+			}
+			if err := lib.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for rank, err := range launchErrs {
+				if tc.wantErr && err == nil {
+					t.Fatalf("rank %d: launch with nil buffers succeeded, want error", rank)
+				}
+				if !tc.wantErr && err != nil {
+					t.Fatalf("rank %d: launch: %v", rank, err)
+				}
+			}
+			if tc.wantErr || tc.nilBufs || tc.timingOnly {
+				return
+			}
+			for r := 0; r < tc.n; r++ {
+				for src := 0; src < tc.n; src++ {
+					for i := 0; i < tc.count; i++ {
+						want := float64(1000*src + 100*r + i)
+						if got := recvs[r].Float64At(src*tc.count + i); got != want {
+							t.Fatalf("rank %d block from %d elem %d = %v, want %v", r, src, i, got, want)
+						}
+					}
+				}
+			}
+		})
 	}
 }

@@ -142,3 +142,49 @@ func TestSizeSweepAndHumanBytes(t *testing.T) {
 		t.Fatal("HumanBytes formatting wrong")
 	}
 }
+
+// TestMoEZeROScenarios smoke-tests the MoE and ZeRO harness entries at
+// minimal scale: numerics verify, DFCCL never deadlocks, the
+// single-stream baseline always does, and DFCCL's communicator count
+// stays below the baseline's churn growth.
+func TestMoEZeROScenarios(t *testing.T) {
+	moeRows, moeTally, err := MoE(2, 2)
+	if err != nil {
+		t.Fatalf("MoE: %v", err)
+	}
+	if len(moeRows) != 3 {
+		t.Fatalf("MoE rows = %d, want 3", len(moeRows))
+	}
+	if moeTally.DFCCLDeadlocks != 0 {
+		t.Fatalf("DFCCL deadlocked %d/%d disordered MoE trials", moeTally.DFCCLDeadlocks, moeTally.Trials)
+	}
+	if moeTally.BaselineDeadlocks != moeTally.Trials {
+		t.Fatalf("single-stream NCCL deadlocked only %d/%d disordered MoE trials", moeTally.BaselineDeadlocks, moeTally.Trials)
+	}
+	var dfcclComms, baseComms int
+	for _, r := range moeRows {
+		switch r.Backend {
+		case "dfccl":
+			dfcclComms = r.CommsCreated
+		case "nccl-singlestream":
+			baseComms = r.CommsCreated
+		}
+	}
+	if dfcclComms == 0 || baseComms == 0 || dfcclComms > baseComms {
+		t.Fatalf("comms created: dfccl=%d baseline=%d; want pooled dfccl ≤ churned baseline", dfcclComms, baseComms)
+	}
+
+	zeroRows, zeroTally, err := ZeRO(2, 1)
+	if err != nil {
+		t.Fatalf("ZeRO: %v", err)
+	}
+	if len(zeroRows) != 7 { // 3 stages × 2 backends + churn row
+		t.Fatalf("ZeRO rows = %d, want 7", len(zeroRows))
+	}
+	if zeroTally.DFCCLDeadlocks != 0 {
+		t.Fatalf("DFCCL deadlocked %d/%d disordered ZeRO trials", zeroTally.DFCCLDeadlocks, zeroTally.Trials)
+	}
+	if zeroTally.BaselineDeadlocks == 0 {
+		t.Fatal("single-stream NCCL survived every disordered ZeRO trial; scenario exercises nothing")
+	}
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dfccl/internal/core"
+	"dfccl/internal/orch"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+	"dfccl/internal/train"
+)
+
+// DeadlockTally is a deadlock-ratio comparison over a set of
+// disordered schedules: how many of the trial schedules each library
+// failed to complete. DFCCL's claim is a flat zero; the single-stream
+// NCCL baseline deadlocks on every disordered trial.
+type DeadlockTally struct {
+	Trials            int
+	DFCCLDeadlocks    int
+	BaselineDeadlocks int
+}
+
+// Ratio returns deadlocked/trials for the named side.
+func (d DeadlockTally) Ratio(dfccl bool) float64 {
+	if d.Trials == 0 {
+		return 0
+	}
+	if dfccl {
+		return float64(d.DFCCLDeadlocks) / float64(d.Trials)
+	}
+	return float64(d.BaselineDeadlocks) / float64(d.Trials)
+}
+
+// MoERow is one backend's result on the ordered MoE schedule.
+type MoERow struct {
+	Backend    string
+	Throughput float64 // tokens/s
+	// CommsCreated counts communicators ever built across the run's
+	// dynamic-group churn: flat (pooled) for DFCCL, growing for NCCL.
+	CommsCreated int
+}
+
+const moeBenchRanks = 4
+
+func moeBenchConfig(iters int) train.MoEConfig {
+	return train.MoEConfig{
+		Ranks: moeBenchRanks, TokensPerRank: 16, ElemsPerToken: 8, TopK: 2,
+		Iterations: iters, DenseGradElems: 4096,
+	}
+}
+
+func moeBackend(name string, e *sim.Engine, cluster *topo.Cluster) orch.Backend {
+	switch name {
+	case "dfccl":
+		return orch.NewDFCCL(e, cluster, core.DefaultConfig())
+	case "nccl-staticsort":
+		return orch.NewStaticSort(e, cluster)
+	default:
+		return orch.NewNCCLSingleStream(e, cluster)
+	}
+}
+
+func commsCreated(b orch.Backend) int {
+	switch v := b.(type) {
+	case *orch.DFCCL:
+		return v.Sys.CommsCreated()
+	case interface{ CommsCreated() int }:
+		return v.CommsCreated()
+	default:
+		return 0
+	}
+}
+
+// MoE runs the Mixture-of-Experts expert-parallel scenario (top-2
+// skewed routing, AllToAll dispatch/combine, dynamic expert groups,
+// dense-gradient all-reduce) on DFCCL and the NCCL baselines:
+// throughput and communicator-construction counts on the ordered
+// schedule, plus a deadlock-ratio tally over disordered trials (one
+// trial per iteration count 1..trials) against single-stream NCCL.
+// All runs carry real token data and verify results exactly.
+func MoE(iters, trials int) ([]MoERow, DeadlockTally, error) {
+	var rows []MoERow
+	for _, name := range []string{"dfccl", "nccl-staticsort", "nccl-singlestream"} {
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(3600 * sim.Second)
+		cluster := topo.Server3090(moeBenchRanks)
+		b := moeBackend(name, e, cluster)
+		cfg := moeBenchConfig(iters)
+		// Dynamic groups need Deregister-capable backends (all three
+		// here are); churn is the point of the scenario.
+		cfg.DynamicGroups = true
+		res, err := train.RunMoE(e, cluster, b, cfg)
+		if err != nil {
+			return nil, DeadlockTally{}, fmt.Errorf("moe %s: %w", name, err)
+		}
+		rows = append(rows, MoERow{Backend: name, Throughput: res.Throughput, CommsCreated: commsCreated(b)})
+	}
+	tally := DeadlockTally{Trials: trials}
+	for k := 1; k <= trials; k++ {
+		cfg := moeBenchConfig(k) // each trial is a distinct schedule
+		cfg.Disorder = true
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(3600 * sim.Second)
+		cluster := topo.Server3090(moeBenchRanks)
+		if _, err := train.RunMoE(e, cluster, moeBackend("dfccl", e, cluster), cfg); err != nil {
+			tally.DFCCLDeadlocks++
+		}
+		e = sim.NewEngine()
+		e.MaxTime = sim.Time(600 * sim.Second)
+		cluster = topo.Server3090(moeBenchRanks)
+		if _, err := train.RunMoE(e, cluster, moeBackend("nccl-singlestream", e, cluster), cfg); err != nil {
+			tally.BaselineDeadlocks++
+		}
+	}
+	return rows, tally, nil
+}
+
+// ZeRORow is one (stage, backend) result of the sharded-DP scenario.
+type ZeRORow struct {
+	Stage      int
+	Backend    string
+	Throughput float64
+	// CommsCreated counts communicator constructions under stage-3
+	// open/close churn (only filled for the churn run).
+	CommsCreated int
+}
+
+const zeroBenchRanks = 4
+
+// zeroBenchModel is a mid-sized layer stack for the ZeRO scenario.
+func zeroBenchModel() train.Model {
+	var layers []train.Layer
+	for i, elems := range []int{2048, 4096, 4096, 8192, 1024} {
+		layers = append(layers, train.Layer{
+			Name: fmt.Sprintf("l%d", i), GradElems: elems,
+			FwdPerSample: 40 * sim.Microsecond, BwdPerSample: 80 * sim.Microsecond,
+		})
+	}
+	return train.Model{Name: "zero-bench", Layers: layers}
+}
+
+// ZeRO runs ZeRO/FSDP sharded data parallelism (stages 1-3: per-layer
+// gradient AllReduce/ReduceScatter + parameter AllGather, sharded
+// momentum) on DFCCL and multi-stream NCCL, a stage-3 open/close churn
+// run on DFCCL, and a deadlock-ratio tally of seeded disordered
+// stage-2 schedules against single-stream NCCL. Every run verifies
+// sharded parameters and optimizer state bit-for-bit against the
+// unsharded reference.
+func ZeRO(iters, trials int) ([]ZeRORow, DeadlockTally, error) {
+	var rows []ZeRORow
+	for stage := 1; stage <= 3; stage++ {
+		for _, name := range []string{"dfccl", "nccl-staticsort"} {
+			e := sim.NewEngine()
+			e.MaxTime = sim.Time(3600 * sim.Second)
+			cluster := topo.Server3090(zeroBenchRanks)
+			b := moeBackend(name, e, cluster)
+			cfg := train.ZeROConfig{
+				Model: zeroBenchModel(), Stage: stage, Ranks: zeroBenchRanks,
+				BatchPerGPU: 4, Iterations: iters,
+			}
+			res, err := train.RunZeRO(e, cluster, b, cfg)
+			if err != nil {
+				return nil, DeadlockTally{}, fmt.Errorf("zero stage %d %s: %w", stage, name, err)
+			}
+			rows = append(rows, ZeRORow{Stage: stage, Backend: name, Throughput: res.Throughput})
+		}
+	}
+	// Stage-3 churn on DFCCL: reopen every per-layer collective each
+	// iteration; CommsCreated stays flat thanks to the pool.
+	{
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(3600 * sim.Second)
+		cluster := topo.Server3090(zeroBenchRanks)
+		b := moeBackend("dfccl", e, cluster)
+		cfg := train.ZeROConfig{
+			Model: zeroBenchModel(), Stage: 3, Ranks: zeroBenchRanks,
+			BatchPerGPU: 4, Iterations: iters, Churn: true,
+		}
+		res, err := train.RunZeRO(e, cluster, b, cfg)
+		if err != nil {
+			return nil, DeadlockTally{}, fmt.Errorf("zero stage 3 churn: %w", err)
+		}
+		rows = append(rows, ZeRORow{Stage: 3, Backend: "dfccl-churn", Throughput: res.Throughput, CommsCreated: commsCreated(b)})
+	}
+	tally := DeadlockTally{Trials: trials}
+	for k := 0; k < trials; k++ {
+		mkRNGs := func() []*rand.Rand {
+			rngs := make([]*rand.Rand, zeroBenchRanks)
+			for r := range rngs {
+				rngs[r] = newSeededRNG(int64(1000*k + r))
+			}
+			return rngs
+		}
+		rngs := mkRNGs()
+		disorder := func(rank, iter int, order []int) {
+			perm := rngs[rank].Perm(len(order))
+			tmp := append([]int(nil), order...)
+			for i, p := range perm {
+				order[i] = tmp[p]
+			}
+		}
+		cfg := train.ZeROConfig{
+			Model: zeroBenchModel(), Stage: 2, Ranks: zeroBenchRanks,
+			BatchPerGPU: 1, Iterations: 2, Disorder: disorder,
+		}
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(3600 * sim.Second)
+		cluster := topo.Server3090(zeroBenchRanks)
+		if _, err := train.RunZeRO(e, cluster, moeBackend("dfccl", e, cluster), cfg); err != nil {
+			tally.DFCCLDeadlocks++
+		}
+		// Fresh RNG state so the baseline sees the same permutations.
+		rngs = mkRNGs()
+		e = sim.NewEngine()
+		e.MaxTime = sim.Time(600 * sim.Second)
+		cluster = topo.Server3090(zeroBenchRanks)
+		if _, err := train.RunZeRO(e, cluster, moeBackend("nccl-singlestream", e, cluster), cfg); err != nil {
+			tally.BaselineDeadlocks++
+		}
+	}
+	return rows, tally, nil
+}

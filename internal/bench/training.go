@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"dfccl/internal/core"
 	"dfccl/internal/deadlocksim"
@@ -382,8 +383,20 @@ func sec61NCCLSingleQueue(orders [][]int, sizes []int) (Sec61Result, error) {
 // Table1 runs the full Table 1 grid with the given round count and
 // returns the results alongside the paper's reported ratios.
 func Table1(rounds int, bigConfigRounds int) ([]Table1Row, error) {
+	return Table1Filtered(rounds, bigConfigRounds, "")
+}
+
+// Table1Filtered runs only the Table 1 configurations whose name
+// contains substr (all of them when substr is empty) — the fast path
+// for smoke runs and for iterating on a single configuration. A
+// non-empty substr matching no configuration is an error, so a stale
+// filter cannot masquerade as a passing run.
+func Table1Filtered(rounds, bigConfigRounds int, substr string) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, cfg := range deadlocksim.Table1Configs(rounds) {
+		if substr != "" && !strings.Contains(cfg.Name, substr) {
+			continue
+		}
 		if cfg.NumGPUs > 1000 && bigConfigRounds > 0 {
 			cfg.Rounds = bigConfigRounds
 		}
@@ -396,6 +409,9 @@ func Table1(rounds int, bigConfigRounds int) ([]Table1Row, error) {
 			Measured: res.Ratio(),
 			Paper:    paperTable1[cfg.Name],
 		})
+	}
+	if substr != "" && len(rows) == 0 {
+		return nil, fmt.Errorf("bench: no Table 1 configuration matches %q", substr)
 	}
 	return rows, nil
 }

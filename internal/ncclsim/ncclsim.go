@@ -53,6 +53,12 @@ func New(e *sim.Engine, c *topo.Cluster) *Lib {
 // Engine returns the simulation engine.
 func (l *Lib) Engine() *sim.Engine { return l.engine }
 
+// CommsCreated reports how many communicators were ever constructed.
+// NCCL has no communicator pool, so under dynamic-group churn this
+// grows with every NewComm — the baseline for DFCCL's flat pooled
+// count.
+func (l *Lib) CommsCreated() int { return l.comms }
+
 // Device returns the simulated device for a global rank.
 func (l *Lib) Device(rank int) *cudasim.Device { return l.Devs[rank] }
 
@@ -149,4 +155,10 @@ func (c *Comm) Broadcast(p *sim.Process, stream *cudasim.Stream, rank, count int
 // Reduce launches a reduce to root (an index into Ranks).
 func (c *Comm) Reduce(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, op mem.ReduceOp, root int, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
 	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.Reduce, Count: count, Type: t, Op: op, Root: root, Ranks: c.Ranks}, sendBuf, recvBuf)
+}
+
+// AllToAll launches an all-to-all (count = per-peer block size; send
+// and recv buffers hold count×N elements each).
+func (c *Comm) AllToAll(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllToAll, Count: count, Type: t, Ranks: c.Ranks}, sendBuf, recvBuf)
 }

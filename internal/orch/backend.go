@@ -10,6 +10,7 @@ package orch
 import (
 	"fmt"
 
+	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 )
@@ -31,6 +32,32 @@ type Backend interface {
 	// Teardown releases rank resources; after all ranks tear down the
 	// backend quiesces.
 	Teardown(p *sim.Process, rank int)
+}
+
+// DataBackend is the optional extension for workloads that assert
+// numeric correctness: RegisterData binds a collective to caller-owned
+// buffers, so the workload writes real send data before each Launch
+// and reads real results after Wait. Backend.Register instead
+// allocates synthetic buffers sized from the spec (sufficient for the
+// timing-only training figures).
+type DataBackend interface {
+	Backend
+	// RegisterData declares a collective whose runs use the given
+	// caller-owned buffers on this rank.
+	RegisterData(p *sim.Process, rank, collID int, spec prim.Spec, priority int, send, recv *mem.Buffer) error
+}
+
+// DynamicBackend is the optional extension for workloads with dynamic
+// collective groups (MoE expert groups, ZeRO open/close churn):
+// Deregister releases a collective mid-run so its resources — for
+// DFCCL, the group's pooled communicator — can be reused by groups
+// opened later.
+type DynamicBackend interface {
+	Backend
+	// Deregister removes collID's registration from rank. All launched
+	// runs must have completed (Wait first). When the last registered
+	// rank deregisters, the collective's backing resources are freed.
+	Deregister(p *sim.Process, rank, collID int) error
 }
 
 // collState tracks one collective's per-rank launch/completion counts.

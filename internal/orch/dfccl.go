@@ -43,8 +43,21 @@ func NewDFCCL(e *sim.Engine, c *topo.Cluster, cfg core.Config) *DFCCL {
 func (d *DFCCL) Name() string { return "dfccl" }
 
 // Register implements Backend: Open by explicit collective ID, keeping
-// the per-rank handle for Launch and Close.
+// the per-rank handle for Launch and Close. The run buffers are
+// synthetic, sized from the spec.
 func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	sendCount, recvCount := prim.BufferCounts(spec)
+	if spec.TimingOnly {
+		sendCount, recvCount = 0, 0
+	}
+	return d.RegisterData(p, rank, collID, spec, priority,
+		mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount),
+		mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount))
+}
+
+// RegisterData implements DataBackend: like Register, but runs use the
+// caller-owned buffers, so workloads can assert numeric results.
+func (d *DFCCL) RegisterData(p *sim.Process, rank, collID int, spec prim.Spec, priority int, send, recv *mem.Buffer) error {
 	if err := validateRegister(d.colls, collID, spec); err != nil {
 		return err
 	}
@@ -57,14 +70,30 @@ func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, prior
 		return err
 	}
 	d.handles[bufKey{rank, collID}] = h
-	sendCount, recvCount := prim.BufferCounts(spec)
-	if spec.TimingOnly {
-		sendCount, recvCount = 0, 0
+	d.bufs[bufKey{rank, collID}] = bufPair{send: send, recv: recv}
+	return nil
+}
+
+// Deregister implements DynamicBackend: Close the rank's handle. When
+// the last participating rank deregisters, the group's communicator
+// returns to the system's pool for reuse by later dynamic groups.
+func (d *DFCCL) Deregister(p *sim.Process, rank, collID int) error {
+	key := bufKey{rank, collID}
+	h := d.handles[key]
+	if h == nil {
+		return fmt.Errorf("orch: collective %d not registered on rank %d", collID, rank)
 	}
-	d.bufs[bufKey{rank, collID}] = bufPair{
-		send: mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount),
-		recv: mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount),
+	if err := h.Close(p); err != nil {
+		return err
 	}
+	delete(d.handles, key)
+	delete(d.bufs, key)
+	for k := range d.handles {
+		if k.collID == collID {
+			return nil
+		}
+	}
+	delete(d.colls, collID)
 	return nil
 }
 

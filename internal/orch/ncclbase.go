@@ -14,8 +14,10 @@ import (
 
 // ncclBase is the shared machinery of the NCCL-backed orchestrators:
 // one communicator per registered collective (concurrent collectives
-// must not share one), one stream per (rank, collective), synthetic
-// buffers, and completion tracking via kernel handles.
+// must not share one), one stream per (rank, collective) — or one per
+// rank in single-stream mode, the deadlock-prone regime of Fig. 1(c) —
+// synthetic or caller-owned buffers, and completion tracking via
+// kernel handles.
 type ncclBase struct {
 	lib   *ncclsim.Lib
 	colls map[int]*collState
@@ -23,20 +25,36 @@ type ncclBase struct {
 	strms map[bufKey]*cudasim.Stream
 	bufs  map[bufKey]bufPair
 	kerns map[bufKey]*cudasim.KernelInstance // most recent launch
+
+	// singleStream shares one stream per rank across all collectives
+	// (NCCL's default-queue regime); rankStrms then replaces strms.
+	singleStream bool
+	rankStrms    map[int]*cudasim.Stream
 }
 
 func newNCCLBase(e *sim.Engine, c *topo.Cluster) *ncclBase {
 	return &ncclBase{
-		lib:   ncclsim.New(e, c),
-		colls: make(map[int]*collState),
-		comms: make(map[int]*ncclsim.Comm),
-		strms: make(map[bufKey]*cudasim.Stream),
-		bufs:  make(map[bufKey]bufPair),
-		kerns: make(map[bufKey]*cudasim.KernelInstance),
+		lib:       ncclsim.New(e, c),
+		colls:     make(map[int]*collState),
+		comms:     make(map[int]*ncclsim.Comm),
+		strms:     make(map[bufKey]*cudasim.Stream),
+		bufs:      make(map[bufKey]bufPair),
+		kerns:     make(map[bufKey]*cudasim.KernelInstance),
+		rankStrms: make(map[int]*cudasim.Stream),
 	}
 }
 
 func (b *ncclBase) register(rank, collID int, spec prim.Spec, priority int) error {
+	sendCount, recvCount := prim.BufferCounts(spec)
+	if spec.TimingOnly {
+		sendCount, recvCount = 0, 0
+	}
+	return b.registerData(rank, collID, spec, priority,
+		mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount),
+		mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount))
+}
+
+func (b *ncclBase) registerData(rank, collID int, spec prim.Spec, priority int, send, recv *mem.Buffer) error {
 	if err := validateRegister(b.colls, collID, spec); err != nil {
 		return err
 	}
@@ -45,28 +63,64 @@ func (b *ncclBase) register(rank, collID int, spec prim.Spec, priority int) erro
 		b.comms[collID] = b.lib.NewComm(spec.Ranks)
 	}
 	key := bufKey{rank, collID}
-	b.strms[key] = b.lib.Device(rank).NewStream()
-	sendCount, recvCount := prim.BufferCounts(spec)
-	if spec.TimingOnly {
-		sendCount, recvCount = 0, 0
+	if b.singleStream {
+		if b.rankStrms[rank] == nil {
+			b.rankStrms[rank] = b.lib.Device(rank).NewStream()
+		}
+	} else {
+		b.strms[key] = b.lib.Device(rank).NewStream()
 	}
-	b.bufs[key] = bufPair{
-		send: mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount),
-		recv: mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount),
-	}
+	b.bufs[key] = bufPair{send: send, recv: recv}
 	return nil
 }
 
+// deregister drops a rank's registration; the last rank out drops the
+// communicator. Launched runs must have been waited first.
+func (b *ncclBase) deregister(rank, collID int) error {
+	key := bufKey{rank, collID}
+	if _, ok := b.bufs[key]; !ok {
+		return fmt.Errorf("orch: collective %d not registered on rank %d", collID, rank)
+	}
+	if k := b.kerns[key]; k != nil && !k.Done() {
+		return fmt.Errorf("orch: collective %d still running on rank %d", collID, rank)
+	}
+	delete(b.bufs, key)
+	delete(b.strms, key)
+	delete(b.kerns, key)
+	for k := range b.bufs {
+		if k.collID == collID {
+			return nil
+		}
+	}
+	delete(b.colls, collID)
+	delete(b.comms, collID)
+	return nil
+}
+
+// streamFor returns the stream a launch of collID on rank uses.
+func (b *ncclBase) streamFor(rank, collID int) *cudasim.Stream {
+	if b.singleStream {
+		return b.rankStrms[rank]
+	}
+	return b.strms[bufKey{rank, collID}]
+}
+
 // launchNow enqueues the collective kernel for rank on its stream. Runs
-// of one collective serialize through the per-(rank,coll) stream.
+// of one collective serialize through the per-(rank,coll) stream; in
+// single-stream mode every collective of the rank serializes.
 func (b *ncclBase) launchNow(p *sim.Process, rank, collID int) error {
 	c, ok := b.colls[collID]
 	if !ok {
 		return fmt.Errorf("orch: collective %d not registered", collID)
 	}
 	key := bufKey{rank, collID}
-	bufs := b.bufs[key]
-	k := b.comms[collID].Launch(p, b.strms[key], rank, c.spec, bufs.send, bufs.recv)
+	bufs, ok := b.bufs[key]
+	if !ok {
+		// The collective survives on other ranks but this rank has
+		// deregistered (or never registered) it.
+		return fmt.Errorf("orch: collective %d not registered on rank %d", collID, rank)
+	}
+	k := b.comms[collID].Launch(p, b.streamFor(rank, collID), rank, c.spec, bufs.send, bufs.recv)
 	b.kerns[key] = k
 	c.launched[rank]++
 	// Completion is observed lazily via the kernel handle in wait().
@@ -100,6 +154,24 @@ func (b *ncclBase) sortedCollIDs() []int {
 	sort.Ints(ids)
 	return ids
 }
+
+// RegisterData implements DataBackend for the NCCL-backed
+// orchestrators: runs of collID use the caller-owned buffers.
+func (b *ncclBase) RegisterData(p *sim.Process, rank, collID int, spec prim.Spec, priority int, send, recv *mem.Buffer) error {
+	return b.registerData(rank, collID, spec, priority, send, recv)
+}
+
+// Deregister implements DynamicBackend for the NCCL-backed
+// orchestrators. NCCL has no communicator pool: the dropped
+// communicator is garbage, and the next dynamic group builds a new one
+// — the recreation cost DFCCL's pool avoids.
+func (b *ncclBase) Deregister(p *sim.Process, rank, collID int) error {
+	return b.deregister(rank, collID)
+}
+
+// CommsCreated reports how many communicators the backend ever built
+// (ncclsim never recycles them; contrast with DFCCL's pooled count).
+func (b *ncclBase) CommsCreated() int { return b.lib.CommsCreated() }
 
 // StaticSort is the OneFlow-style baseline: the framework compiler
 // sorts collectives topologically, and every rank launches them
@@ -137,3 +209,44 @@ func (s *StaticSort) WaitAll(p *sim.Process, rank int) { s.waitAll(p, rank) }
 
 // Teardown implements Backend.
 func (s *StaticSort) Teardown(p *sim.Process, rank int) {}
+
+// NCCLSingleStream is NCCL in the paper's Fig. 1(c) regime: every
+// collective of a rank launches into the same CUDA stream, with no CPU
+// orchestration of launch order. A kernel busy-waiting for a peer
+// blocks every later launch on that GPU, so any cross-rank disorder in
+// launch order creates circular wait and the simulation reports a
+// global deadlock — the baseline the MoE and ZeRO deadlock-ratio
+// comparisons run against.
+type NCCLSingleStream struct {
+	*ncclBase
+}
+
+// NewNCCLSingleStream builds the single-stream NCCL baseline backend.
+func NewNCCLSingleStream(e *sim.Engine, c *topo.Cluster) *NCCLSingleStream {
+	b := newNCCLBase(e, c)
+	b.singleStream = true
+	return &NCCLSingleStream{ncclBase: b}
+}
+
+// Name implements Backend.
+func (s *NCCLSingleStream) Name() string { return "nccl-singlestream" }
+
+// Register implements Backend.
+func (s *NCCLSingleStream) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	return s.register(rank, collID, spec, priority)
+}
+
+// Launch implements Backend: launch immediately in program order, as an
+// unorchestrated NCCL application would.
+func (s *NCCLSingleStream) Launch(p *sim.Process, rank, collID int) error {
+	return s.launchNow(p, rank, collID)
+}
+
+// Wait implements Backend.
+func (s *NCCLSingleStream) Wait(p *sim.Process, rank, collID int) { s.wait(p, rank, collID) }
+
+// WaitAll implements Backend.
+func (s *NCCLSingleStream) WaitAll(p *sim.Process, rank int) { s.waitAll(p, rank) }
+
+// Teardown implements Backend.
+func (s *NCCLSingleStream) Teardown(p *sim.Process, rank int) {}

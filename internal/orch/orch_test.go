@@ -213,3 +213,134 @@ func TestDFCCLBackendStats(t *testing.T) {
 		t.Fatalf("stats = %+v, want CQEs written", s)
 	}
 }
+
+// TestSingleStreamDeadlocksOnDisorder reproduces Fig. 1(c) at the
+// backend level: two ranks launch two collectives in opposite orders
+// on one stream per GPU. The single-stream NCCL baseline circularly
+// waits and the engine reports a global deadlock; DFCCL completes the
+// identical schedule.
+func TestSingleStreamDeadlocksOnDisorder(t *testing.T) {
+	run := func(mk func(e *sim.Engine, c *topo.Cluster) Backend) error {
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(600 * sim.Second)
+		cluster := topo.Server3090(2)
+		b := mk(e, cluster)
+		ranks := []int{0, 1}
+		for rank := 0; rank < 2; rank++ {
+			rank := rank
+			e.Spawn("drive", func(p *sim.Process) {
+				for c := 0; c < 2; c++ {
+					if err := b.Register(p, rank, c, spec2(4096, ranks), 0); err != nil {
+						t.Errorf("register: %v", err)
+						return
+					}
+				}
+				order := []int{0, 1}
+				if rank == 1 {
+					order = []int{1, 0}
+				}
+				for _, c := range order {
+					if err := b.Launch(p, rank, c); err != nil {
+						t.Errorf("launch: %v", err)
+						return
+					}
+				}
+				b.WaitAll(p, rank)
+				b.Teardown(p, rank)
+			})
+		}
+		return e.Run()
+	}
+	if err := run(func(e *sim.Engine, c *topo.Cluster) Backend { return NewNCCLSingleStream(e, c) }); err == nil {
+		t.Fatal("single-stream NCCL completed a disordered schedule, want deadlock")
+	}
+	if err := run(func(e *sim.Engine, c *topo.Cluster) Backend { return NewDFCCL(e, c, core.DefaultConfig()) }); err != nil {
+		t.Fatalf("dfccl: %v", err)
+	}
+}
+
+// TestDataBackendCarriesRealData checks the RegisterData path moves
+// caller-provided bytes through both the DFCCL backend and an
+// NCCL-backed one, and that Deregister recycles DFCCL communicators.
+func TestDataBackendCarriesRealData(t *testing.T) {
+	const n, count, cycles = 4, 64, 3
+	for _, which := range []string{"dfccl", "static"} {
+		which := which
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(600 * sim.Second)
+		cluster := topo.Server3090(n)
+		var b Backend
+		if which == "dfccl" {
+			b = NewDFCCL(e, cluster, core.DefaultConfig())
+		} else {
+			b = NewStaticSort(e, cluster)
+		}
+		db, ok := b.(DataBackend)
+		if !ok {
+			t.Fatalf("%s does not implement DataBackend", which)
+		}
+		dyn, ok := b.(DynamicBackend)
+		if !ok {
+			t.Fatalf("%s does not implement DynamicBackend", which)
+		}
+		ranks := []int{0, 1, 2, 3}
+		recvs := make([]*mem.Buffer, n)
+		// Cycle barrier: all ranks must deregister (returning the
+		// communicator to DFCCL's pool) before any rank reopens.
+		arrived, gen := 0, 0
+		barCond := sim.NewCond("test.bar")
+		bar := func(p *sim.Process) {
+			g := gen
+			arrived++
+			if arrived == n {
+				arrived, gen = 0, gen+1
+				barCond.Broadcast(p.Engine())
+				return
+			}
+			for g == gen {
+				barCond.Wait(p)
+			}
+		}
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			e.Spawn("drive", func(p *sim.Process) {
+				for cy := 0; cy < cycles; cy++ {
+					collID := 10 + cy
+					spec := prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float64, Op: mem.Sum, Ranks: ranks}
+					send := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+					recv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+					send.Fill(float64(rank + 1))
+					recvs[rank] = recv
+					if err := db.RegisterData(p, rank, collID, spec, 0, send, recv); err != nil {
+						t.Errorf("register data: %v", err)
+						return
+					}
+					if err := b.Launch(p, rank, collID); err != nil {
+						t.Errorf("launch: %v", err)
+						return
+					}
+					b.Wait(p, rank, collID)
+					if err := dyn.Deregister(p, rank, collID); err != nil {
+						t.Errorf("deregister: %v", err)
+						return
+					}
+					bar(p)
+				}
+				b.Teardown(p, rank)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		for rank, r := range recvs {
+			if got := r.Float64At(count - 1); got != 10 {
+				t.Fatalf("%s rank %d = %v, want 10", which, rank, got)
+			}
+		}
+		if which == "dfccl" {
+			if created := b.(*DFCCL).Sys.CommsCreated(); created != 1 {
+				t.Fatalf("dfccl created %d communicators across %d cycles, want 1 (pooled)", created, cycles)
+			}
+		}
+	}
+}

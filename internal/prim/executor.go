@@ -122,7 +122,7 @@ func (x *Executor) computeCost(bytes int) sim.Duration {
 // initialize performs the sequence's init copy, charging compute time.
 func (x *Executor) initialize(p *sim.Process) {
 	if x.Spec.TimingOnly {
-		if x.Seq.initCopyOwnSeg != -2 {
+		if x.Seq.initCopyOwnSeg != initCopyNone {
 			sendCount, _ := BufferCounts(x.Spec)
 			p.Sleep(x.computeCost(sendCount * x.Spec.Type.Size()))
 		}
@@ -130,8 +130,8 @@ func (x *Executor) initialize(p *sim.Process) {
 		return
 	}
 	switch x.Seq.initCopyOwnSeg {
-	case -2: // no init copy
-	case -1: // whole send buffer into the working buffer
+	case initCopyNone:
+	case initCopyWhole: // whole send buffer into the working buffer
 		dst := x.work().Bytes()
 		src := x.SendBuf.Bytes()
 		if len(dst) != len(src) {
@@ -139,6 +139,14 @@ func (x *Executor) initialize(p *sim.Process) {
 		}
 		p.Sleep(x.computeCost(len(src)))
 		copy(dst, src)
+	case initCopyPrefix: // whole send buffer into the working-buffer prefix
+		src := x.SendBuf.Bytes()
+		dst := x.work().Bytes()
+		if len(dst) < len(src) {
+			panic(fmt.Sprintf("prim: %v init prefix copy overflow: work=%d send=%d", x.Spec.Kind, len(dst), len(src)))
+		}
+		p.Sleep(x.computeCost(len(src)))
+		copy(dst[:len(src)], src)
 	default: // own contribution into its working-buffer segment
 		sr := x.Seq.segs[x.Seq.initCopyOwnSeg]
 		dst := x.work().Slice(sr.Lo, sr.Hi)
@@ -152,8 +160,30 @@ func (x *Executor) initialize(p *sim.Process) {
 	x.Initialized = true
 }
 
-// finishRound handles the copy-out (reduce-scatter) after the last round.
+// copyOut moves results from the working buffer into the recv buffer
+// after the last round: a single segment (reduce-scatter) or a
+// concatenation of segments (all-to-all).
 func (x *Executor) copyOut(p *sim.Process) {
+	if len(x.Seq.copyOutSegs) > 0 {
+		total := 0
+		for _, sg := range x.Seq.copyOutSegs {
+			total += x.Seq.segs[sg].len()
+		}
+		p.Sleep(x.computeCost(total * x.Spec.Type.Size()))
+		if x.Spec.TimingOnly {
+			return
+		}
+		off := 0
+		for _, sg := range x.Seq.copyOutSegs {
+			sr := x.Seq.segs[sg]
+			copy(x.RecvBuf.Slice(off, off+sr.len()), x.work().Slice(sr.Lo, sr.Hi))
+			off += sr.len()
+		}
+		if off*x.Spec.Type.Size() != len(x.RecvBuf.Bytes()) {
+			panic(fmt.Sprintf("prim: %v copy-out covered %d elems, recv holds %d", x.Spec.Kind, off, x.RecvBuf.Len()))
+		}
+		return
+	}
 	if x.Seq.copyOutSeg < 0 {
 		return
 	}

@@ -1,7 +1,8 @@
 // Package prim implements GPU collective primitives: the send / recv /
 // reduce / copy actions of Sec. 4.1 of the paper, the Ring-algorithm
-// primitive-sequence generators for the five common collectives
-// (all-reduce, all-gather, reduce-scatter, reduce, broadcast), and a
+// primitive-sequence generators for the six supported collectives
+// (all-reduce, all-gather, reduce-scatter, reduce, broadcast, and the
+// store-and-forward all-to-all of MoE expert parallelism), and a
 // resumable executor whose dynamic state (current chunk round and
 // primitive step) is exactly the "dynamic context" DFCCL saves and
 // restores across preemptions.
@@ -22,11 +23,23 @@ import (
 type Kind int
 
 const (
+	// AllReduce: every rank contributes Count elements and receives
+	// their elementwise reduction.
 	AllReduce Kind = iota
+	// AllGather: every rank contributes Count elements and receives
+	// the Count×N concatenation.
 	AllGather
+	// ReduceScatter: every rank contributes Count elements and
+	// receives its Count/N share of the reduction.
 	ReduceScatter
+	// Reduce: like AllReduce, but only the root receives the result.
 	Reduce
+	// Broadcast: the root's Count elements reach every rank.
 	Broadcast
+	// AllToAll: every rank sends a distinct Count-element block to
+	// each peer and receives one from each — the MoE dispatch/combine
+	// exchange.
+	AllToAll
 )
 
 func (k Kind) String() string {
@@ -41,6 +54,8 @@ func (k Kind) String() string {
 		return "reduce"
 	case Broadcast:
 		return "broadcast"
+	case AllToAll:
+		return "all-to-all"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -56,7 +71,10 @@ const DefaultChunkElems = 32768
 // Count semantics follow NCCL: for AllReduce, Reduce, and Broadcast it
 // is the total element count of the buffer; for AllGather it is the
 // per-rank contribution (recv buffer holds Count×N); for ReduceScatter
-// it is the total send-buffer count (recv buffer holds Count/N).
+// it is the total send-buffer count (recv buffer holds Count/N); for
+// AllToAll it is the per-peer block size (send and recv buffers both
+// hold Count×N: send block j goes to rank j, recv block i came from
+// rank i, both indexed by ring position within Ranks).
 type Spec struct {
 	Kind  Kind
 	Count int
@@ -169,6 +187,20 @@ type segRange struct{ Lo, Hi int }
 
 func (r segRange) len() int { return r.Hi - r.Lo }
 
+// initCopyOwnSeg sentinels (non-negative values name the working-buffer
+// segment that receives the rank's own send-buffer contribution).
+const (
+	// initCopyWhole copies the whole send buffer into the working
+	// buffer; their element lengths must match.
+	initCopyWhole = -1
+	// initCopyNone performs no init copy.
+	initCopyNone = -2
+	// initCopyPrefix copies the whole send buffer into the leading
+	// elements of a (longer) working buffer — the all-to-all layout,
+	// whose working buffer also holds in-flight and received blocks.
+	initCopyPrefix = -3
+)
+
 // Sequence is the per-rank execution plan for one collective: the
 // primitive actions of one chunk round, the working-buffer segment
 // layout, and the number of chunk rounds needed to cover the data.
@@ -182,7 +214,7 @@ type Sequence struct {
 	// workLen is the element length of the working buffer.
 	workLen int
 	// initCopyOwnSeg: at init, copy the send buffer into segs[seg] of
-	// the working buffer (-2 = no init copy, -1 = whole buffer).
+	// the working buffer, or one of the initCopy* sentinels.
 	initCopyOwnSeg int
 	// useScratch: the working buffer is an internal scratch area rather
 	// than the user's recv buffer.
@@ -190,6 +222,11 @@ type Sequence struct {
 	// copyOutSeg: after the final round, copy segs[copyOutSeg] of the
 	// working buffer into the recv buffer (-1 = none).
 	copyOutSeg int
+	// copyOutSegs: after the final round, concatenate the listed
+	// working-buffer segments into the recv buffer in list order. Used
+	// when the result is scattered across the working buffer (all-to-
+	// all); takes precedence over copyOutSeg when non-empty.
+	copyOutSegs []int
 }
 
 // NumPrimitives returns the total primitive count across all rounds,
@@ -262,6 +299,8 @@ func (s Spec) SequenceFor(pos int) *Sequence {
 		return s.broadcastSeq(pos, n)
 	case Reduce:
 		return s.reduceSeq(pos, n)
+	case AllToAll:
+		return s.allToAllSeq(pos, n)
 	default:
 		panic(fmt.Sprintf("prim: unknown kind %v", s.Kind))
 	}
@@ -273,7 +312,7 @@ func (s Spec) allReduceSeq(pos, n int) *Sequence {
 		segs:           segs,
 		chunkElems:     s.chunk(),
 		workLen:        s.Count,
-		initCopyOwnSeg: -1, // copy whole send buffer into recv buffer
+		initCopyOwnSeg: initCopyWhole, // copy whole send buffer into recv buffer
 		copyOutSeg:     -1,
 	}
 	maxSeg := 0
@@ -350,7 +389,7 @@ func (s Spec) reduceScatterSeq(pos, n int) *Sequence {
 		segs:           segs,
 		chunkElems:     s.chunk(),
 		workLen:        s.Count,
-		initCopyOwnSeg: -1,
+		initCopyOwnSeg: initCopyWhole,
 		useScratch:     true,
 		copyOutSeg:     pos,
 	}
@@ -377,9 +416,83 @@ func (s Spec) reduceScatterSeq(pos, n int) *Sequence {
 	return seq
 }
 
+// allToAllSeq builds the ring all-to-all: every rank holds one Count-
+// element block per peer, and block (src=i, dst=j) travels (j-i) mod n
+// hops along the ring. The schedule runs distances st = 1..n-1; within
+// a distance, hop h of the block is forwarded at step (st, h), so every
+// step each rank sends exactly one block chunk and receives exactly
+// one — uniform flow that keeps the bounded connectors deadlock-free
+// under in-order execution and resumable under preemption.
+//
+// Working-buffer (scratch) layout, in Count-element segments:
+//
+//	[0, n)      own send blocks (init copy of the send buffer)
+//	[n, 2n)     received final blocks, indexed by origin rank position
+//	[2n, 2n+2)  two alternating transit slots for blocks in flight
+//
+// The copy-out concatenates origin blocks 0..n-1 into the recv buffer;
+// the rank's own self block (src=dst=pos) comes straight from the own-
+// block area, which no action ever overwrites.
+func (s Spec) allToAllSeq(pos, n int) *Sequence {
+	if n == 1 {
+		// Degenerate single-rank exchange: recv = send.
+		seq := &Sequence{
+			segs:           []segRange{{Lo: 0, Hi: s.Count}},
+			chunkElems:     s.chunk(),
+			workLen:        s.Count,
+			initCopyOwnSeg: initCopyWhole,
+			copyOutSeg:     -1,
+		}
+		seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
+		return seq
+	}
+	segs := make([]segRange, 2*n+2)
+	for i := range segs {
+		segs[i] = segRange{Lo: i * s.Count, Hi: (i + 1) * s.Count}
+	}
+	seq := &Sequence{
+		segs:           segs,
+		chunkElems:     s.chunk(),
+		workLen:        (2*n + 2) * s.Count,
+		initCopyOwnSeg: initCopyPrefix,
+		useScratch:     true,
+		copyOutSeg:     -1,
+	}
+	seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
+	seq.copyOutSegs = make([]int, n)
+	for o := 0; o < n; o++ {
+		seq.copyOutSegs[o] = n + o // final block from origin o
+	}
+	seq.copyOutSegs[pos] = pos // self block stays in the own area
+	transit, lastTransit := 0, 0
+	for st := 1; st < n; st++ {
+		for h := 1; h <= st; h++ {
+			var a Action
+			if h == 1 {
+				// Inject the rank's own block destined st hops ahead.
+				a.SendSeg = mod(pos+st, n)
+			} else {
+				// Forward the block received at the previous step.
+				a.SendSeg = 2*n + lastTransit
+			}
+			if h == st {
+				// Final hop: the block originated st hops behind.
+				a.RecvSeg = n + mod(pos-st, n)
+			} else {
+				a.RecvSeg = 2*n + transit
+				lastTransit = transit
+				transit = 1 - transit
+			}
+			seq.Actions = append(seq.Actions, a)
+		}
+	}
+	return seq
+}
+
 // BufferCounts returns the required send/recv buffer element counts for
 // a spec, following NCCL buffer-size conventions: all-gather's recv
-// buffer holds Count×N, reduce-scatter's holds Count/N.
+// buffer holds Count×N, reduce-scatter's holds Count/N, all-to-all's
+// send and recv both hold Count×N.
 func BufferCounts(s Spec) (sendCount, recvCount int) {
 	switch s.Kind {
 	case AllReduce, Broadcast, Reduce:
@@ -388,6 +501,8 @@ func BufferCounts(s Spec) (sendCount, recvCount int) {
 		return s.Count, s.Count * s.N()
 	case ReduceScatter:
 		return s.Count, s.Count / s.N()
+	case AllToAll:
+		return s.Count * s.N(), s.Count * s.N()
 	default:
 		panic(fmt.Sprintf("prim: unknown kind %v", s.Kind))
 	}
@@ -403,9 +518,9 @@ func (s Spec) broadcastSeq(pos, n int) *Sequence {
 	seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
 	chainPos := mod(pos-s.Root, n)
 	if chainPos == 0 {
-		seq.initCopyOwnSeg = -1 // root copies its send buffer
+		seq.initCopyOwnSeg = initCopyWhole // root copies its send buffer
 	} else {
-		seq.initCopyOwnSeg = -2
+		seq.initCopyOwnSeg = initCopyNone
 	}
 	if n == 1 {
 		return seq
@@ -431,7 +546,7 @@ func (s Spec) reduceSeq(pos, n int) *Sequence {
 	seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
 	chainPos := mod(pos-s.Root-1, n) // root+1 first, root last
 	isRoot := pos == s.Root
-	seq.initCopyOwnSeg = -1 // everyone starts from its own send data
+	seq.initCopyOwnSeg = initCopyWhole // everyone starts from its own send data
 	if !isRoot {
 		seq.useScratch = true
 	}

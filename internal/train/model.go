@@ -1,9 +1,19 @@
 // Package train simulates distributed DNN training at the layer level:
 // the workloads of the paper's Sec. 6.4 (ResNet50 data parallelism,
 // ViT under DP/TP/3D-hybrid, GPT-2 under 3D-hybrid with Megatron-style
-// sharding). Compute is charged as virtual time per layer; every
-// collective goes through an orch.Backend, so the same workload runs
-// over DFCCL or over NCCL with any CPU orchestration method.
+// sharding) plus two beyond-paper scenarios that stress dynamic
+// communicator lifecycles — RunMoE (Mixture-of-Experts expert
+// parallelism: skewed top-k routing, AllToAll token dispatch/combine,
+// per-iteration expert-group churn) and RunZeRO (ZeRO/FSDP sharded
+// data parallelism, stages 1-3: per-layer gradient ReduceScatter and
+// parameter AllGather with sharded optimizer state).
+//
+// Compute is charged as virtual time per layer; every collective goes
+// through an orch.Backend, so the same workload runs over DFCCL or
+// over NCCL with any CPU orchestration method. The paper-figure
+// workloads use TimingOnly collectives; the MoE and ZeRO workloads
+// carry real data and verify their results exactly against serial
+// references, making them correctness tests as much as benchmarks.
 package train
 
 import (

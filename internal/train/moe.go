@@ -1,0 +1,372 @@
+package train
+
+import (
+	"fmt"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/metrics"
+	"dfccl/internal/orch"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// MoE per-token compute costs (reference GPU).
+const (
+	// RouterTokenTime is the gating-network cost per local token.
+	RouterTokenTime = 1 * sim.Microsecond
+	// ExpertTokenTime is the expert FFN cost per routed token; a
+	// skew-overloaded expert therefore straggles, which is exactly the
+	// launch-timing divergence DFCCL's gang scheduling must absorb.
+	ExpertTokenTime = 5 * sim.Microsecond
+)
+
+// MoEConfig configures Mixture-of-Experts expert-parallel training:
+// one expert per rank, top-k routing with a rotating hot expert, token
+// dispatch and combine over AllToAll, and a data-parallel AllReduce of
+// the non-expert (shared) gradients.
+type MoEConfig struct {
+	// Ranks is the expert-parallel world size; expert e lives on rank e.
+	Ranks int
+	// TokensPerRank is each rank's tokens per iteration.
+	TokensPerRank int
+	// ElemsPerToken is the model dimension of one token.
+	ElemsPerToken int
+	// TopK is the number of experts each token is routed to (≥1).
+	TopK int
+	// Iterations is the number of training iterations.
+	Iterations int
+	// DenseGradElems sizes the shared (non-expert) gradient all-reduce.
+	DenseGradElems int
+	// Disorder staggers each rank's {dispatch, dense} launch order by
+	// rank parity — the cross-rank disorder that deadlocks the
+	// single-stream NCCL baseline and that DFCCL absorbs.
+	Disorder bool
+	// DynamicGroups opens the dispatch/combine collectives and the
+	// overloaded-expert subgroup fresh every iteration and closes them
+	// after — MoE's group churn, the load on the communicator pool.
+	// Requires a backend implementing orch.DynamicBackend.
+	DynamicGroups bool
+}
+
+// moeTokenVal is the deterministic element value of token t of rank r
+// at iteration it — small positive integers, so every expert transform
+// and combine sum is exact in floating point and padding (zero) is
+// distinguishable from data.
+func moeTokenVal(r, t, it, elem int) float64 {
+	return float64(1 + (r*31+t*7+it*13+elem*3)%50)
+}
+
+// moeExpertScale is expert e's (linear) transform: x -> (e+2)·x.
+func moeExpertScale(e int) float64 { return float64(e + 2) }
+
+// hotExpert returns the iteration's skew-overloaded expert.
+func (c MoEConfig) hotExpert(it int) int { return it % c.Ranks }
+
+// route returns the TopK expert choices of token t on rank r: a
+// skewed primary (every third token goes to the iteration's hot
+// expert) plus its TopK-1 successors.
+func (c MoEConfig) route(r, t, it int) []int {
+	primary := (r + t) % c.Ranks
+	if (t+it)%3 == 0 {
+		primary = c.hotExpert(it)
+	}
+	out := make([]int, c.TopK)
+	for j := range out {
+		out[j] = (primary + j) % c.Ranks
+	}
+	return out
+}
+
+// capacitySlots is the per-(source, expert) block capacity in tokens.
+// route returns TopK distinct experts per token, so one expert receives
+// at most one copy of each of a rank's tokens: the worst case of every
+// local token picking this expert among its choices.
+func (c MoEConfig) capacitySlots() int { return c.TokensPerRank }
+
+func (c MoEConfig) validate(cluster *topo.Cluster) error {
+	if c.Ranks < 1 || c.TokensPerRank < 1 || c.ElemsPerToken < 1 || c.Iterations < 1 {
+		return fmt.Errorf("train: bad MoE config %+v", c)
+	}
+	if c.TopK < 1 || c.TopK > c.Ranks {
+		return fmt.Errorf("train: MoE TopK %d out of range for %d experts", c.TopK, c.Ranks)
+	}
+	if c.Ranks > cluster.Size() {
+		return fmt.Errorf("train: MoE config needs %d GPUs, cluster has %d", c.Ranks, cluster.Size())
+	}
+	if c.DenseGradElems < 1 {
+		return fmt.Errorf("train: MoE DenseGradElems must be positive")
+	}
+	return nil
+}
+
+// MoE collective-ID space (kept below core.AutoCollIDBase).
+const (
+	moeCollDense    = 900_000 // persistent dense-grad all-reduce
+	moeCollBase     = 910_000 // + iteration*moeCollStride + slot
+	moeCollStride   = 8
+	moeSlotDispatch = 0
+	moeSlotCombine  = 1
+	moeSlotSubgroup = 2
+)
+
+// RunMoE trains a Mixture-of-Experts layer under expert parallelism:
+// per iteration, each rank routes its tokens (top-k, skewed towards a
+// rotating hot expert), dispatches them to their experts over
+// AllToAll, applies the local expert, combines the results back over
+// a second AllToAll, all-reduces the shared dense gradient across all
+// ranks, and — with DynamicGroups — opens and closes the iteration's
+// collectives plus an overloaded-expert subgroup all-reduce, churning
+// the communicator pool.
+//
+// All collectives carry real data and RunMoE verifies the combined
+// token outputs, the dense gradient sum, and the subgroup sum exactly
+// against a serial reference; any mismatch is returned as an error.
+// The backend must implement orch.DataBackend (and orch.DynamicBackend
+// when DynamicGroups is set).
+func RunMoE(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg MoEConfig) (*Result, error) {
+	if err := cfg.validate(cluster); err != nil {
+		return nil, err
+	}
+	db, ok := b.(orch.DataBackend)
+	if !ok {
+		return nil, fmt.Errorf("train: backend %s cannot carry MoE data (no RegisterData)", b.Name())
+	}
+	var dyn orch.DynamicBackend
+	if cfg.DynamicGroups {
+		if dyn, ok = b.(orch.DynamicBackend); !ok {
+			return nil, fmt.Errorf("train: backend %s cannot churn MoE groups (no Deregister)", b.Name())
+		}
+	}
+	n := cfg.Ranks
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	blockElems := cfg.capacitySlots() * cfg.ElemsPerToken // AllToAll Count
+	res := &Result{Backend: b.Name(), IterTimes: &metrics.Series{Name: b.Name()}}
+	bar := newBarrier(n)
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn(fmt.Sprintf("train.moe.rank%d", rank), func(p *sim.Process) {
+			if err := runMoERank(p, db, dyn, cfg, rank, ranks, blockElems, bar, res); err != nil {
+				fail(err)
+			}
+		})
+	}
+	err := e.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("train: %s: %w (blocked: %v)", b.Name(), err, e.BlockedProcesses())
+	}
+	res.Elapsed = sim.Duration(e.Now())
+	res.Throughput = metrics.Throughput(n*cfg.TokensPerRank*cfg.Iterations, res.Elapsed)
+	return res, nil
+}
+
+func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cfg MoEConfig, rank int, ranks []int, blockElems int, bar *barrier, res *Result) error {
+	var b orch.Backend = db
+	n := cfg.Ranks
+	ept := cfg.ElemsPerToken
+	slots := cfg.capacitySlots()
+
+	// Persistent dense-gradient all-reduce over all ranks.
+	denseSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, cfg.DenseGradElems)
+	denseRecv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, cfg.DenseGradElems)
+	denseSpec := prim.Spec{Kind: prim.AllReduce, Count: cfg.DenseGradElems, Type: mem.Float64, Op: mem.Sum, Ranks: ranks}
+	if err := db.RegisterData(p, rank, moeCollDense, denseSpec, 0, denseSend, denseRecv); err != nil {
+		return err
+	}
+
+	// AllToAll buffers: Count×N elements each.
+	dispatchSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+	dispatchRecv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+	combineSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+	combineRecv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+	a2aSpec := prim.Spec{Kind: prim.AllToAll, Count: blockElems, Type: mem.Float64, Ranks: ranks}
+
+	dispatchID := func(it int) int { return moeCollBase + it*moeCollStride + moeSlotDispatch }
+	combineID := func(it int) int { return moeCollBase + it*moeCollStride + moeSlotCombine }
+	if !cfg.DynamicGroups {
+		// Static groups: register dispatch/combine once (iteration 0 IDs).
+		if err := db.RegisterData(p, rank, dispatchID(0), a2aSpec, 0, dispatchSend, dispatchRecv); err != nil {
+			return err
+		}
+		if err := db.RegisterData(p, rank, combineID(0), a2aSpec, 0, combineSend, combineRecv); err != nil {
+			return err
+		}
+	}
+
+	// slotTok[e][s] is the local token a dispatched slot carries.
+	slotTok := make([][]int, n)
+	for e := range slotTok {
+		slotTok[e] = make([]int, slots)
+	}
+	slotUsed := make([]int, n)
+
+	for it := 0; it < cfg.Iterations; it++ {
+		start := p.Now()
+		dID, cID := dispatchID(0), combineID(0)
+		if cfg.DynamicGroups {
+			dID, cID = dispatchID(it), combineID(it)
+			if err := db.RegisterData(p, rank, dID, a2aSpec, 0, dispatchSend, dispatchRecv); err != nil {
+				return err
+			}
+			if err := db.RegisterData(p, rank, cID, a2aSpec, 0, combineSend, combineRecv); err != nil {
+				return err
+			}
+		}
+
+		// Router: gate every token, then pack token copies into the
+		// per-expert dispatch blocks (zero padding marks unused slots).
+		p.Sleep(sim.Duration(cfg.TokensPerRank) * RouterTokenTime)
+		dispatchSend.Fill(0)
+		for e := range slotUsed {
+			slotUsed[e] = 0
+		}
+		for t := 0; t < cfg.TokensPerRank; t++ {
+			for _, e := range cfg.route(rank, t, it) {
+				s := slotUsed[e]
+				slotUsed[e]++
+				slotTok[e][s] = t
+				off := e*blockElems + s*ept
+				for i := 0; i < ept; i++ {
+					dispatchSend.SetFloat64(off+i, moeTokenVal(rank, t, it, i))
+				}
+			}
+		}
+		// Shared-parameter backward "computes" the dense gradient.
+		for i := 0; i < cfg.DenseGradElems; i++ {
+			denseSend.SetFloat64(i, float64(rank+1+it))
+		}
+
+		// Dispatch and dense gradient are both ready here; with
+		// Disorder, rank parity flips their launch order — harmless
+		// under DFCCL, fatal for single-stream NCCL.
+		launches := []int{dID, moeCollDense}
+		if cfg.Disorder && rank%2 == 1 {
+			launches = []int{moeCollDense, dID}
+		}
+		for _, id := range launches {
+			if err := b.Launch(p, rank, id); err != nil {
+				return err
+			}
+		}
+		b.Wait(p, rank, dID)
+
+		// Expert compute: this rank's expert transforms every routed
+		// token it received; compute time scales with actual load, so
+		// the skew-overloaded expert straggles.
+		received := 0
+		for src := 0; src < n; src++ {
+			for s := 0; s < slots; s++ {
+				off := src*blockElems + s*ept
+				if dispatchRecv.Float64At(off) == 0 {
+					continue // padding: tokens are ≥1 by construction
+				}
+				received++
+				for i := 0; i < ept; i++ {
+					combineSend.SetFloat64(off+i, moeExpertScale(rank)*dispatchRecv.Float64At(off+i))
+				}
+			}
+		}
+		p.Sleep(sim.Duration(received) * ExpertTokenTime)
+
+		if err := b.Launch(p, rank, cID); err != nil {
+			return err
+		}
+		b.Wait(p, rank, cID)
+
+		// Combine: sum the top-k expert outputs per token and verify
+		// against the serial reference.
+		for t := 0; t < cfg.TokensPerRank; t++ {
+			experts := cfg.route(rank, t, it)
+			for i := 0; i < ept; i++ {
+				var want float64
+				for _, e := range experts {
+					want += moeExpertScale(e) * moeTokenVal(rank, t, it, i)
+				}
+				var got float64
+				for _, e := range experts {
+					s := slotOf(slotTok[e], slotUsed[e], t)
+					got += combineRecv.Float64At(e*blockElems + s*ept + i)
+				}
+				if got != want {
+					return fmt.Errorf("train: moe rank %d iter %d token %d elem %d = %v, want %v", rank, it, t, i, got, want)
+				}
+			}
+		}
+
+		// Overloaded-expert subgroup: the hot expert and its neighbor
+		// reconcile load statistics over a dynamic 2-rank group.
+		if cfg.DynamicGroups && n >= 2 {
+			hot := cfg.hotExpert(it)
+			pair := []int{hot, (hot + 1) % n}
+			if rank == pair[0] || rank == pair[1] {
+				subID := moeCollBase + it*moeCollStride + moeSlotSubgroup
+				subSpec := prim.Spec{Kind: prim.AllReduce, Count: 16, Type: mem.Float64, Op: mem.Sum, Ranks: pair}
+				send := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 16)
+				recv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 16)
+				send.Fill(float64(rank + 1 + it))
+				if err := db.RegisterData(p, rank, subID, subSpec, 0, send, recv); err != nil {
+					return err
+				}
+				if err := b.Launch(p, rank, subID); err != nil {
+					return err
+				}
+				b.Wait(p, rank, subID)
+				want := float64(pair[0]+1+it) + float64(pair[1]+1+it)
+				if got := recv.Float64At(0); got != want {
+					return fmt.Errorf("train: moe rank %d iter %d subgroup sum = %v, want %v", rank, it, got, want)
+				}
+				if err := dyn.Deregister(p, rank, subID); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Drain the dense all-reduce and verify the gradient sum.
+		b.WaitAll(p, rank)
+		wantDense := float64(n*(n+1)/2 + n*it)
+		if got := denseRecv.Float64At(cfg.DenseGradElems - 1); got != wantDense {
+			return fmt.Errorf("train: moe rank %d iter %d dense grad = %v, want %v", rank, it, got, wantDense)
+		}
+		p.Sleep(OptimizerTime)
+
+		if cfg.DynamicGroups {
+			if err := dyn.Deregister(p, rank, dID); err != nil {
+				return err
+			}
+			if err := dyn.Deregister(p, rank, cID); err != nil {
+				return err
+			}
+			// Every rank must finish closing before the next iteration
+			// opens, so released communicators are reusable.
+			bar.wait(p)
+		}
+		if rank == 0 {
+			res.IterTimes.Add(float64(p.Now().Sub(start)) / float64(sim.Second))
+		}
+	}
+	b.Teardown(p, rank)
+	return nil
+}
+
+// slotOf finds the dispatch slot that carried token t (slots are
+// filled in token order, so linear scan over the used prefix).
+func slotOf(slotTok []int, used int, t int) int {
+	for s := 0; s < used; s++ {
+		if slotTok[s] == t {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("train: token %d not dispatched", t))
+}

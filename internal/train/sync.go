@@ -1,0 +1,32 @@
+package train
+
+import "dfccl/internal/sim"
+
+// barrier synchronizes the workload's rank processes at iteration
+// boundaries — needed by the dynamic-group workloads so every rank has
+// deregistered (returning communicators to DFCCL's pool) before any
+// rank opens the next iteration's groups.
+type barrier struct {
+	n       int
+	arrived int
+	gen     int
+	cond    *sim.Cond
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, cond: sim.NewCond("train.barrier")}
+}
+
+func (b *barrier) wait(p *sim.Process) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast(p.Engine())
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait(p)
+	}
+}
