@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test ci smoke
+.PHONY: all fmt vet build test ci smoke doccheck
 
 all: ci
 
@@ -21,10 +21,16 @@ test:
 
 ci: fmt vet build test
 
-# smoke is the fast all-in-one gate: formatting, static checks, and a
-# minimal-iteration pass through every cmd/* entry point. Runs in a few
-# seconds; see TESTING.md.
-smoke: fmt vet build
+# doccheck fails if any exported identifier in the root package,
+# internal/prim, or internal/orch lacks a doc comment (go/ast-based,
+# no external linters; see cmd/doccheck).
+doccheck:
+	$(GO) run ./cmd/doccheck
+
+# smoke is the fast all-in-one gate: formatting, static checks, the
+# godoc floor, and a minimal-iteration pass through every cmd/* entry
+# point. Runs in a few seconds; see TESTING.md.
+smoke: fmt vet build doccheck
 	$(GO) run ./cmd/overhead > /dev/null
 	$(GO) run ./cmd/dlprevent -iters 2 > /dev/null
 	$(GO) run ./cmd/dlprevent -lib nccl > /dev/null

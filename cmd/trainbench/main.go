@@ -74,11 +74,22 @@ func main() {
 		}
 	case "moe":
 		n := defaultIters(*iters, 20)
-		rows, tally, err := bench.MoE(n, *trials)
+		rows, dispatch, tally, err := bench.MoE(n, *trials)
 		check(err)
 		fmt.Printf("MoE expert parallelism (4 experts, top-2 skewed routing, dynamic groups, %d iterations)\n", n)
 		for _, r := range rows {
-			fmt.Printf("  %-20s %10.1f tokens/s   communicators created: %d\n", r.Backend, r.Throughput, r.CommsCreated)
+			fmt.Printf("  %-20s %10.1f tokens/s   communicators created: %d   alltoall payload: %s\n",
+				r.Backend, r.Throughput, r.CommsCreated, bench.HumanBytes(int(r.A2ABytes)))
+		}
+		fmt.Printf("dispatch bytes moved under the skewed router: padded all-to-all %s, all-to-all-v %s (-%.1f%%)\n",
+			bench.HumanBytes(int(dispatch.PaddedBytes)), bench.HumanBytes(int(dispatch.RaggedBytes)), 100*dispatch.Savings())
+		fmt.Printf("combined token outputs bit-identical to the padded reference: %v\n", dispatch.BitIdentical)
+		if !dispatch.BitIdentical {
+			check(fmt.Errorf("all-to-all-v outputs diverged from the padded reference"))
+		}
+		if dispatch.RaggedBytes >= dispatch.PaddedBytes {
+			check(fmt.Errorf("all-to-all-v moved %d bytes, padded reference %d: no savings under skew",
+				dispatch.RaggedBytes, dispatch.PaddedBytes))
 		}
 		fmt.Printf("deadlock ratio over %d disordered schedules: dfccl %.2f, nccl-singlestream %.2f\n",
 			tally.Trials, tally.Ratio(true), tally.Ratio(false))

@@ -66,8 +66,8 @@ type (
 	TraceRecorder = trace.Recorder
 
 	// Spec describes one collective operation; build one with the
-	// AllReduce/AllGather/ReduceScatter/Broadcast/Reduce/AllToAll
-	// constructors and pass it to (*RankContext).Open.
+	// AllReduce/AllGather/ReduceScatter/Broadcast/Reduce/AllToAll/
+	// AllToAllv constructors and pass it to (*RankContext).Open.
 	Spec = prim.Spec
 	// Collective is a typed handle to one registered collective on one
 	// rank: Launch/LaunchCB to invoke, Stats to observe, Close to
@@ -93,6 +93,9 @@ var (
 	WithCollID = core.WithCollID
 	// WithGrid sets the thread blocks the collective's kernel needs.
 	WithGrid = core.WithGrid
+	// WithCounts supplies the AllToAllv per-peer count matrix:
+	// counts[i][j] elements flow from devSet position i to position j.
+	WithCounts = core.WithCounts
 )
 
 // AllReduce builds the spec of an all-reduce over devSet: every rank
@@ -133,6 +136,18 @@ func Reduce(count int, t DataType, op ReduceOp, root int, devSet ...int) Spec {
 // devSet[i].
 func AllToAll(count int, t DataType, devSet ...int) Spec {
 	return Spec{Kind: prim.AllToAll, Count: count, Type: t, Ranks: devSet}
+}
+
+// AllToAllv builds the spec of a variable-count all-to-all over devSet:
+// block sizes come from a per-peer count matrix instead of a uniform
+// count, so skewed exchanges (MoE dispatch under a hot expert) move
+// exactly the routed elements with no capacity padding. Supply the
+// matrix with the WithCounts option at Open (or by assigning
+// Spec.Counts directly): counts[i][j] elements flow from devSet
+// position i to position j. Position i's send buffer is the row-i
+// concatenation, its recv buffer the column-i concatenation.
+func AllToAllv(t DataType, devSet ...int) Spec {
+	return Spec{Kind: prim.AllToAllv, Type: t, Ranks: devSet}
 }
 
 // Batch submits several collective runs at once and returns a joined

@@ -288,3 +288,93 @@ func TestV2AllToAll(t *testing.T) {
 		})
 	}
 }
+
+// TestV2AllToAllv drives the variable-count all-to-all through the
+// full DFCCL stack: the AllToAllv builder plus the WithCounts option
+// carrying a skewed count matrix, per-rank ragged buffer sizing, and
+// the wrong-size / missing-counts error paths.
+func TestV2AllToAllv(t *testing.T) {
+	counts := [][]int{
+		{2, 9, 0, 4},
+		{5, 1, 7, 0},
+		{0, 3, 2, 8},
+		{6, 0, 1, 2},
+	}
+	const n = 4
+	rowSum := func(i int) int {
+		s := 0
+		for _, c := range counts[i] {
+			s += c
+		}
+		return s
+	}
+	colSum := func(j int) int {
+		s := 0
+		for _, row := range counts {
+			s += row[j]
+		}
+		return s
+	}
+	lib := dfccl.New(dfccl.Server3090(n))
+	lib.SetTimeLimit(60 * dfccl.Second)
+	recvs := make([]*dfccl.Buffer, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		lib.Go("rank", func(p *dfccl.Process) {
+			ctx := lib.Init(p, rank)
+			// Missing counts must be rejected at Open.
+			if _, err := ctx.Open(dfccl.AllToAllv(dfccl.Float64, 0, 1, 2, 3)); err == nil {
+				t.Error("Open accepted an AllToAllv spec with no counts")
+			}
+			coll, err := ctx.Open(
+				dfccl.AllToAllv(dfccl.Float64, 0, 1, 2, 3),
+				dfccl.WithCounts(counts), dfccl.WithCollID(77))
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			send := dfccl.NewBuffer(dfccl.Float64, rowSum(rank))
+			recv := dfccl.NewBuffer(dfccl.Float64, colSum(rank))
+			recvs[rank] = recv
+			off := 0
+			for dst := 0; dst < n; dst++ {
+				for i := 0; i < counts[rank][dst]; i++ {
+					send.SetFloat64(off, float64(1000*rank+100*dst+i))
+					off++
+				}
+			}
+			// A uniform-size buffer is the wrong shape for this rank's
+			// ragged row/column sums and must be rejected.
+			if _, err := coll.Launch(p, dfccl.NewBuffer(dfccl.Float64, 999), recv); err == nil {
+				t.Error("launch accepted a wrong-size send buffer")
+			}
+			fut, err := coll.Launch(p, send, recv)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+			if err := coll.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			ctx.Destroy(p)
+		})
+	}
+	if err := lib.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for pos := 0; pos < n; pos++ {
+		off := 0
+		for src := 0; src < n; src++ {
+			for i := 0; i < counts[src][pos]; i++ {
+				want := float64(1000*src + 100*pos + i)
+				if got := recvs[pos].Float64At(off); got != want {
+					t.Fatalf("pos %d block from %d elem %d = %v, want %v", pos, src, i, got, want)
+				}
+				off++
+			}
+		}
+	}
+}

@@ -148,12 +148,24 @@ func TestSizeSweepAndHumanBytes(t *testing.T) {
 // single-stream baseline always does, and DFCCL's communicator count
 // stays below the baseline's churn growth.
 func TestMoEZeROScenarios(t *testing.T) {
-	moeRows, moeTally, err := MoE(2, 2)
+	moeRows, dispatch, moeTally, err := MoE(2, 2)
 	if err != nil {
 		t.Fatalf("MoE: %v", err)
 	}
 	if len(moeRows) != 3 {
 		t.Fatalf("MoE rows = %d, want 3", len(moeRows))
+	}
+	if !dispatch.BitIdentical {
+		t.Fatal("AllToAllv combined outputs diverged from the padded reference")
+	}
+	if dispatch.RaggedBytes >= dispatch.PaddedBytes || dispatch.RaggedBytes == 0 {
+		t.Fatalf("dispatch bytes: ragged=%d padded=%d; want 0 < ragged < padded under the skewed router",
+			dispatch.RaggedBytes, dispatch.PaddedBytes)
+	}
+	for _, r := range moeRows {
+		if r.A2ABytes != dispatch.RaggedBytes {
+			t.Fatalf("%s moved %d alltoall bytes, want %d (payload is backend-independent)", r.Backend, r.A2ABytes, dispatch.RaggedBytes)
+		}
 	}
 	if moeTally.DFCCLDeadlocks != 0 {
 		t.Fatalf("DFCCL deadlocked %d/%d disordered MoE trials", moeTally.DFCCLDeadlocks, moeTally.Trials)

@@ -39,6 +39,34 @@ type MoERow struct {
 	// CommsCreated counts communicators ever built across the run's
 	// dynamic-group churn: flat (pooled) for DFCCL, growing for NCCL.
 	CommsCreated int
+	// A2ABytes is the total dispatch/combine payload the run moved.
+	A2ABytes int64
+}
+
+// MoEDispatch compares the two MoE dispatch layouts on the identical
+// ordered schedule (DFCCL backend): the capacity-padded AllToAll
+// reference against the exact-count AllToAllv the workload defaults
+// to. The claim it measures: under the skewed router AllToAllv moves
+// strictly fewer bytes while the combined token outputs stay
+// bit-identical.
+type MoEDispatch struct {
+	// PaddedBytes / RaggedBytes are the total dispatch/combine payloads
+	// of the padded-AllToAll and AllToAllv runs.
+	PaddedBytes, RaggedBytes int64
+	// BitIdentical reports whether the two runs' combined-output
+	// fingerprints (Result.OutputHash) match. Both runs also verify
+	// their outputs against the serial reference internally, so this is
+	// the cross-run witness of that equivalence rather than the only
+	// line of defense.
+	BitIdentical bool
+}
+
+// Savings returns the fraction of the padded payload AllToAllv avoids.
+func (d MoEDispatch) Savings() float64 {
+	if d.PaddedBytes == 0 {
+		return 0
+	}
+	return 1 - float64(d.RaggedBytes)/float64(d.PaddedBytes)
 }
 
 const moeBenchRanks = 4
@@ -73,14 +101,18 @@ func commsCreated(b orch.Backend) int {
 }
 
 // MoE runs the Mixture-of-Experts expert-parallel scenario (top-2
-// skewed routing, AllToAll dispatch/combine, dynamic expert groups,
+// skewed routing, AllToAllv dispatch/combine, dynamic expert groups,
 // dense-gradient all-reduce) on DFCCL and the NCCL baselines:
-// throughput and communicator-construction counts on the ordered
-// schedule, plus a deadlock-ratio tally over disordered trials (one
-// trial per iteration count 1..trials) against single-stream NCCL.
-// All runs carry real token data and verify results exactly.
-func MoE(iters, trials int) ([]MoERow, DeadlockTally, error) {
+// throughput, communicator-construction counts, and dispatch bytes on
+// the ordered schedule; a padded-AllToAll reference run on DFCCL whose
+// combined outputs must hash identically to the AllToAllv run while
+// moving strictly more bytes (the MoEDispatch comparison); plus a
+// deadlock-ratio tally over disordered trials (one trial per iteration
+// count 1..trials) against single-stream NCCL. All runs carry real
+// token data and verify results exactly.
+func MoE(iters, trials int) ([]MoERow, MoEDispatch, DeadlockTally, error) {
 	var rows []MoERow
+	var raggedRes *train.Result
 	for _, name := range []string{"dfccl", "nccl-staticsort", "nccl-singlestream"} {
 		e := sim.NewEngine()
 		e.MaxTime = sim.Time(3600 * sim.Second)
@@ -92,9 +124,35 @@ func MoE(iters, trials int) ([]MoERow, DeadlockTally, error) {
 		cfg.DynamicGroups = true
 		res, err := train.RunMoE(e, cluster, b, cfg)
 		if err != nil {
-			return nil, DeadlockTally{}, fmt.Errorf("moe %s: %w", name, err)
+			return nil, MoEDispatch{}, DeadlockTally{}, fmt.Errorf("moe %s: %w", name, err)
 		}
-		rows = append(rows, MoERow{Backend: name, Throughput: res.Throughput, CommsCreated: commsCreated(b)})
+		if name == "dfccl" {
+			raggedRes = res
+		}
+		rows = append(rows, MoERow{Backend: name, Throughput: res.Throughput, CommsCreated: commsCreated(b), A2ABytes: res.A2ABytes})
+	}
+	if raggedRes == nil {
+		return nil, MoEDispatch{}, DeadlockTally{}, fmt.Errorf("moe: dfccl run missing from backend sweep")
+	}
+	// Padded reference on DFCCL: same schedule, capacity-padded
+	// AllToAll. Outputs must be bit-identical; bytes must be higher.
+	var dispatch MoEDispatch
+	{
+		e := sim.NewEngine()
+		e.MaxTime = sim.Time(3600 * sim.Second)
+		cluster := topo.Server3090(moeBenchRanks)
+		cfg := moeBenchConfig(iters)
+		cfg.DynamicGroups = true
+		cfg.PaddedAllToAll = true
+		res, err := train.RunMoE(e, cluster, moeBackend("dfccl", e, cluster), cfg)
+		if err != nil {
+			return nil, MoEDispatch{}, DeadlockTally{}, fmt.Errorf("moe padded reference: %w", err)
+		}
+		dispatch = MoEDispatch{
+			PaddedBytes:  res.A2ABytes,
+			RaggedBytes:  raggedRes.A2ABytes,
+			BitIdentical: res.OutputHash == raggedRes.OutputHash,
+		}
 	}
 	tally := DeadlockTally{Trials: trials}
 	for k := 1; k <= trials; k++ {
@@ -113,7 +171,7 @@ func MoE(iters, trials int) ([]MoERow, DeadlockTally, error) {
 			tally.BaselineDeadlocks++
 		}
 	}
-	return rows, tally, nil
+	return rows, dispatch, tally, nil
 }
 
 // ZeRORow is one (stage, backend) result of the sharded-DP scenario.

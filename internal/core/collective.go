@@ -16,6 +16,7 @@ type openOpts struct {
 	hasID    bool
 	priority int
 	grid     int
+	counts   [][]int
 }
 
 // WithCollID pins the collective to an explicit ID, as the paper's
@@ -42,6 +43,21 @@ func WithGrid(blocks int) OpenOption {
 	return func(o *openOpts) { o.grid = blocks }
 }
 
+// WithCounts sets the AllToAllv per-peer count matrix on the opened
+// spec: counts[i][j] elements flow from ranks-position i to position j.
+// Every participating rank opens the same full matrix (the shared view
+// is what makes the cross-rank send/recv count agreement structural);
+// the matrix is deep-copied, so the caller may reuse its slices. Only
+// valid with an AllToAllv spec — Open rejects other kinds at
+// validation.
+func WithCounts(counts [][]int) OpenOption {
+	cp := make([][]int, len(counts))
+	for i, row := range counts {
+		cp[i] = append([]int(nil), row...)
+	}
+	return func(o *openOpts) { o.counts = cp }
+}
+
 // Collective is a typed handle to one registered collective on one
 // rank: the unit of the v2 API. It is obtained from Open, launched
 // with Launch (future style) or LaunchCB (callback style), observed
@@ -61,12 +77,17 @@ func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, err
 	if r.destroyed {
 		return nil, fmt.Errorf("core: rank %d context destroyed", r.Rank)
 	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
 	var o openOpts
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.counts != nil {
+		spec.Counts = o.counts
+	}
+	// Validation runs after options apply, since WithCounts completes an
+	// AllToAllv spec.
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	id := o.collID
 	if !o.hasID {
@@ -112,7 +133,7 @@ func (c *Collective) preflight(send, recv *mem.Buffer) error {
 	if !ok {
 		return fmt.Errorf("core: collective %d not registered on rank %d", c.id, c.r.Rank)
 	}
-	return checkBufferSizes(t.group.Spec, send, recv)
+	return checkBufferSizes(t.group.Spec, t.group.posOf[c.r.Rank], send, recv)
 }
 
 // Launch submits one asynchronous run of the collective and returns a

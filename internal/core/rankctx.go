@@ -240,7 +240,7 @@ func (r *RankContext) Run(p *sim.Process, collID int, sendBuf, recvBuf *mem.Buff
 	if !ok {
 		return fmt.Errorf("core: collective %d not registered on rank %d", collID, r.Rank)
 	}
-	if err := checkBufferSizes(task.group.Spec, sendBuf, recvBuf); err != nil {
+	if err := checkBufferSizes(task.group.Spec, task.group.posOf[r.Rank], sendBuf, recvBuf); err != nil {
 		return err
 	}
 	task.runs = append(task.runs, runReq{send: sendBuf, recv: recvBuf})
@@ -262,14 +262,17 @@ func (r *RankContext) RunAllReduce(p *sim.Process, collID int, sendBuf, recvBuf 
 	return r.Run(p, collID, sendBuf, recvBuf, cb)
 }
 
-func checkBufferSizes(spec prim.Spec, sendBuf, recvBuf *mem.Buffer) error {
+// checkBufferSizes validates a launch's buffers against the spec's
+// per-position requirements (AllToAllv sizes differ per rank: row/
+// column sums of the count matrix).
+func checkBufferSizes(spec prim.Spec, pos int, sendBuf, recvBuf *mem.Buffer) error {
 	if spec.TimingOnly {
 		return nil
 	}
 	if sendBuf == nil || recvBuf == nil {
 		return fmt.Errorf("core: %v launched with nil buffer(s); non-timing collectives need real send/recv buffers", spec.Kind)
 	}
-	wantSend, wantRecv := prim.BufferCounts(spec)
+	wantSend, wantRecv := prim.BufferCountsFor(spec, pos)
 	if sendBuf.Len() != wantSend {
 		return fmt.Errorf("core: %v send buffer has %d elems, want %d", spec.Kind, sendBuf.Len(), wantSend)
 	}

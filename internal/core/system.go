@@ -146,6 +146,10 @@ func (s *System) autoCollID(r *RankContext, spec prim.Spec) int {
 	return id
 }
 
+// sameSpec reports whether two specs are interchangeable for
+// registration purposes: every field the registration layer enforces,
+// including the AllToAllv count matrix (two variable-count collectives
+// with different routing must not share a registration).
 func sameSpec(a, b prim.Spec) bool {
 	if a.Kind != b.Kind || a.Count != b.Count || a.Type != b.Type || a.Op != b.Op || a.Root != b.Root ||
 		a.TimingOnly != b.TimingOnly || a.ChunkElems != b.ChunkElems || len(a.Ranks) != len(b.Ranks) {
@@ -154,6 +158,19 @@ func sameSpec(a, b prim.Spec) bool {
 	for i := range a.Ranks {
 		if a.Ranks[i] != b.Ranks[i] {
 			return false
+		}
+	}
+	if len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if len(a.Counts[i]) != len(b.Counts[i]) {
+			return false
+		}
+		for j := range a.Counts[i] {
+			if a.Counts[i][j] != b.Counts[i][j] {
+				return false
+			}
 		}
 	}
 	return true

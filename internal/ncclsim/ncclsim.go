@@ -162,3 +162,12 @@ func (c *Comm) Reduce(p *sim.Process, stream *cudasim.Stream, rank, count int, t
 func (c *Comm) AllToAll(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
 	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllToAll, Count: count, Type: t, Ranks: c.Ranks}, sendBuf, recvBuf)
 }
+
+// AllToAllv launches a variable-count all-to-all: counts[i][j] elements
+// flow from ring position i to position j, so this rank's send buffer
+// holds the row-i concatenation and its recv buffer the column-i
+// concatenation (i = the rank's position within Ranks). Every rank must
+// pass the same matrix.
+func (c *Comm) AllToAllv(p *sim.Process, stream *cudasim.Stream, rank int, counts [][]int, t mem.DataType, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllToAllv, Type: t, Ranks: c.Ranks, Counts: counts}, sendBuf, recvBuf)
+}

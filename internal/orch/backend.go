@@ -86,14 +86,27 @@ func (c *collState) waitRank(p *sim.Process, rank int) {
 	}
 }
 
+// validateRegister rejects invalid specs and re-registrations of a live
+// collective ID under a different spec (fingerprint inequality covers
+// every spec field, including the AllToAllv count matrix).
 func validateRegister(colls map[int]*collState, collID int, spec prim.Spec) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
 	if existing, ok := colls[collID]; ok {
-		if existing.spec.Kind != spec.Kind || existing.spec.Count != spec.Count || len(existing.spec.Ranks) != len(spec.Ranks) {
+		if existing.spec.Fingerprint() != spec.Fingerprint() {
 			return fmt.Errorf("orch: collective %d re-registered with different spec", collID)
 		}
 	}
 	return nil
+}
+
+// posOf returns rank's ring position within spec.Ranks, or -1.
+func posOf(spec prim.Spec, rank int) int {
+	for i, r := range spec.Ranks {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
 }

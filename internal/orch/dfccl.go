@@ -46,7 +46,11 @@ func (d *DFCCL) Name() string { return "dfccl" }
 // the per-rank handle for Launch and Close. The run buffers are
 // synthetic, sized from the spec.
 func (d *DFCCL) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
-	sendCount, recvCount := prim.BufferCounts(spec)
+	pos := posOf(spec, rank)
+	if pos < 0 {
+		return fmt.Errorf("orch: rank %d not in devSet of collective %d", rank, collID)
+	}
+	sendCount, recvCount := prim.BufferCountsFor(spec, pos)
 	if spec.TimingOnly {
 		sendCount, recvCount = 0, 0
 	}

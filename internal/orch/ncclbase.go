@@ -45,7 +45,11 @@ func newNCCLBase(e *sim.Engine, c *topo.Cluster) *ncclBase {
 }
 
 func (b *ncclBase) register(rank, collID int, spec prim.Spec, priority int) error {
-	sendCount, recvCount := prim.BufferCounts(spec)
+	pos := posOf(spec, rank)
+	if pos < 0 {
+		return fmt.Errorf("orch: rank %d not in devSet of collective %d", rank, collID)
+	}
+	sendCount, recvCount := prim.BufferCountsFor(spec, pos)
 	if spec.TimingOnly {
 		sendCount, recvCount = 0, 0
 	}

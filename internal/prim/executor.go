@@ -25,6 +25,7 @@ const (
 	Done
 )
 
+// String names the step outcome for diagnostics.
 func (r StepResult) String() string {
 	switch r {
 	case Progressed:
@@ -69,6 +70,12 @@ type Executor struct {
 	// Stats.
 	PrimsExecuted int
 	SpinAborts    int
+	// BytesSent counts the wire bytes this executor wrote to its send
+	// connector across all runs — observed ring traffic, including
+	// store-and-forward forwarding hops, accumulated in TimingOnly mode
+	// too (the chunks are merely empty). It is what padding actually
+	// costs: a padded all-to-all pays for its zero tails on every hop.
+	BytesSent int
 }
 
 // NewExecutor builds an executor for the participant at position pos.
@@ -123,7 +130,7 @@ func (x *Executor) computeCost(bytes int) sim.Duration {
 func (x *Executor) initialize(p *sim.Process) {
 	if x.Spec.TimingOnly {
 		if x.Seq.initCopyOwnSeg != initCopyNone {
-			sendCount, _ := BufferCounts(x.Spec)
+			sendCount, _ := BufferCountsFor(x.Spec, x.Pos)
 			p.Sleep(x.computeCost(sendCount * x.Spec.Type.Size()))
 		}
 		x.Initialized = true
@@ -299,10 +306,12 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 }
 
 // sendHalf transmits the current round's slice of the action's send
-// segment, charging serialization and latency on the path.
+// segment (clipped to the in-flight block in ragged sequences),
+// charging serialization and latency on the path.
 func (x *Executor) sendHalf(p *sim.Process, a Action) {
-	sr := x.Seq.roundSlice(a.SendSeg, x.Round)
+	sr := x.Seq.sendSlice(a, x.Round)
 	bytes := sr.len() * x.Spec.Type.Size()
+	x.BytesSent += bytes
 	p.Sleep(sim.Duration(x.NextPath.TransferTime(bytes)))
 	if x.Spec.TimingOnly {
 		x.Next.Write(p.Engine(), nil)
@@ -315,7 +324,7 @@ func (x *Executor) sendHalf(p *sim.Process, a Action) {
 // recv segment, charging compute time.
 func (x *Executor) recvHalf(p *sim.Process, a Action) {
 	chunk := x.Prev.Read(p.Engine())
-	sr := x.Seq.roundSlice(a.RecvSeg, x.Round)
+	sr := x.Seq.recvSlice(a, x.Round)
 	if x.Spec.TimingOnly {
 		p.Sleep(x.computeCost(sr.len() * x.Spec.Type.Size()))
 		return

@@ -23,7 +23,7 @@ func runWithPreemption(t *testing.T, spec Spec, fill func(rank int, b *mem.Buffe
 	n := spec.N()
 	recvs := make([]*mem.Buffer, n)
 	for i := 0; i < n; i++ {
-		sendCount, recvCount := BufferCounts(spec)
+		sendCount, recvCount := BufferCountsFor(spec, i)
 		s := mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount)
 		recvs[i] = mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount)
 		fill(spec.Ranks[i], s)

@@ -21,7 +21,7 @@ func runCollective(t *testing.T, c *topo.Cluster, spec Spec, fill func(rank int,
 	sendBufs := make([]*mem.Buffer, n)
 	recvBufs := make([]*mem.Buffer, n)
 	for i := 0; i < n; i++ {
-		sendCount, recvCount := BufferCounts(spec)
+		sendCount, recvCount := BufferCountsFor(spec, i)
 		sendBufs[i] = mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount)
 		recvBufs[i] = mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount)
 		fill(spec.Ranks[i], sendBufs[i])

@@ -1,8 +1,9 @@
 // Package prim implements GPU collective primitives: the send / recv /
 // reduce / copy actions of Sec. 4.1 of the paper, the Ring-algorithm
-// primitive-sequence generators for the six supported collectives
-// (all-reduce, all-gather, reduce-scatter, reduce, broadcast, and the
-// store-and-forward all-to-all of MoE expert parallelism), and a
+// primitive-sequence generators for the seven supported collectives
+// (all-reduce, all-gather, reduce-scatter, reduce, broadcast, the
+// store-and-forward all-to-all of MoE expert parallelism, and its
+// variable-count all-to-all-v for skew-sized dispatch), and a
 // resumable executor whose dynamic state (current chunk round and
 // primitive step) is exactly the "dynamic context" DFCCL saves and
 // restores across preemptions.
@@ -40,8 +41,14 @@ const (
 	// each peer and receives one from each — the MoE dispatch/combine
 	// exchange.
 	AllToAll
+	// AllToAllv: the variable-count all-to-all. Block sizes come from
+	// the Spec's Counts matrix instead of a uniform Count, so skewed
+	// exchanges (MoE routing under a hot expert) move exactly the
+	// routed elements with no capacity padding.
+	AllToAllv
 )
 
+// String returns the NCCL-style lowercase name of the collective.
 func (k Kind) String() string {
 	switch k {
 	case AllReduce:
@@ -56,6 +63,8 @@ func (k Kind) String() string {
 		return "broadcast"
 	case AllToAll:
 		return "all-to-all"
+	case AllToAllv:
+		return "all-to-all-v"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -74,12 +83,18 @@ const DefaultChunkElems = 32768
 // it is the total send-buffer count (recv buffer holds Count/N); for
 // AllToAll it is the per-peer block size (send and recv buffers both
 // hold Count×N: send block j goes to rank j, recv block i came from
-// rank i, both indexed by ring position within Ranks).
+// rank i, both indexed by ring position within Ranks). AllToAllv
+// ignores Count (it must be zero) and takes per-peer block sizes from
+// Counts instead.
 type Spec struct {
-	Kind  Kind
+	// Kind selects the collective algorithm.
+	Kind Kind
+	// Count is the element count, with per-kind semantics (see above).
 	Count int
-	Type  mem.DataType
-	Op    mem.ReduceOp
+	// Type is the element type of both buffers.
+	Type mem.DataType
+	// Op is the reduction operator for the reducing kinds.
+	Op mem.ReduceOp
 	// Root is the index *within Ranks* of the root for Reduce/Broadcast.
 	Root int
 	// Ranks lists the participating global ranks; ring order follows
@@ -87,6 +102,18 @@ type Spec struct {
 	Ranks []int
 	// ChunkElems is the chunk granularity; zero selects the default.
 	ChunkElems int
+	// Counts is the AllToAllv count matrix: Counts[i][j] is the element
+	// count ring position i sends to ring position j (the diagonal
+	// entry i==j is the local self block). Validate enforces the count-
+	// vector sum rule: the matrix must be N()×N() with non-negative
+	// entries, and must be nil for every other Kind. Because all ranks
+	// register the one shared matrix, the cross-rank agreement NCCL
+	// leaves to the application — rank i's sendcounts[j] equal to rank
+	// j's recvcounts[i] — holds by construction: position i's send
+	// counts are row i and its recv counts are column i, so row and
+	// column sums are consistent across ranks by definition. Per-rank
+	// buffer sizes follow from the same sums via BufferCountsFor.
+	Counts [][]int
 	// TimingOnly runs the collective as a pure performance model: all
 	// scheduling, connector flow control, and time charging behave
 	// identically, but no bytes are allocated, moved, or reduced.
@@ -108,8 +135,8 @@ func (s Spec) Timing() Spec {
 // compares). Specs with equal fingerprints are interchangeable for
 // collective-ID assignment and communicator pooling.
 func (s Spec) Fingerprint() string {
-	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%t|%v",
-		int(s.Kind), s.Count, int(s.Type), int(s.Op), s.Root, s.ChunkElems, s.TimingOnly, s.Ranks)
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%t|%v|%v",
+		int(s.Kind), s.Count, int(s.Type), int(s.Op), s.Root, s.ChunkElems, s.TimingOnly, s.Ranks, s.Counts)
 }
 
 func (s Spec) chunk() int {
@@ -122,8 +149,25 @@ func (s Spec) chunk() int {
 // N returns the number of participants.
 func (s Spec) N() int { return len(s.Ranks) }
 
-// Bytes returns the semantic payload size of the operation.
-func (s Spec) Bytes() int { return s.Count * s.Type.Size() }
+// Bytes returns the total semantic payload size of the operation:
+// Count elements for the uniform kinds, Count×N² for AllToAll (Count
+// is the per-peer block size, so the exchange carries N² blocks), and
+// the full Counts matrix sum for AllToAllv — the two all-to-all
+// variants therefore report directly comparable totals.
+func (s Spec) Bytes() int {
+	switch s.Kind {
+	case AllToAll:
+		return s.Count * s.N() * s.N() * s.Type.Size()
+	case AllToAllv:
+		total := 0
+		for _, row := range s.Counts {
+			total += sumInts(row)
+		}
+		return total * s.Type.Size()
+	default:
+		return s.Count * s.Type.Size()
+	}
+}
 
 // Validate checks structural invariants.
 func (s Spec) Validate() error {
@@ -145,7 +189,54 @@ func (s Spec) Validate() error {
 		}
 		seen[r] = struct{}{}
 	}
+	// Count-vector sum rules: AllToAllv carries a full N×N matrix (so
+	// every rank's send counts are a row and its recv counts a column
+	// of the same shared matrix), every other kind carries none.
+	if s.Kind == AllToAllv {
+		if s.Count != 0 {
+			return fmt.Errorf("prim: all-to-all-v uses Counts, not Count (got Count=%d)", s.Count)
+		}
+		if len(s.Counts) != len(s.Ranks) {
+			return fmt.Errorf("prim: all-to-all-v Counts has %d rows, want %d", len(s.Counts), len(s.Ranks))
+		}
+		for i, row := range s.Counts {
+			if len(row) != len(s.Ranks) {
+				return fmt.Errorf("prim: all-to-all-v Counts row %d has %d entries, want %d", i, len(row), len(s.Ranks))
+			}
+			for j, c := range row {
+				if c < 0 {
+					return fmt.Errorf("prim: all-to-all-v Counts[%d][%d] = %d is negative", i, j, c)
+				}
+			}
+		}
+	} else if s.Counts != nil {
+		return fmt.Errorf("prim: Counts matrix is only valid for all-to-all-v (kind %v)", s.Kind)
+	}
 	return nil
+}
+
+// SendCountsFor returns the per-peer element counts ring position pos
+// sends (row pos of the AllToAllv Counts matrix).
+func (s Spec) SendCountsFor(pos int) []int {
+	return append([]int(nil), s.Counts[pos]...)
+}
+
+// RecvCountsFor returns the per-peer element counts ring position pos
+// receives (column pos of the AllToAllv Counts matrix).
+func (s Spec) RecvCountsFor(pos int) []int {
+	out := make([]int, len(s.Counts))
+	for i, row := range s.Counts {
+		out[i] = row[pos]
+	}
+	return out
+}
+
+func sumInts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
 }
 
 // Action is one primitive: a fused subset of {send, recv, reduce, copy}.
@@ -154,9 +245,21 @@ func (s Spec) Validate() error {
 // received chunk overwrites the segment slice (copy); when true it is
 // reduced into it.
 type Action struct {
+	// SendSeg is the working-buffer segment the send half reads (-1 = none).
 	SendSeg int
+	// RecvSeg is the working-buffer segment the recv half writes (-1 = none).
 	RecvSeg int
-	Reduce  bool
+	// Reduce selects reduce-into (true) vs copy-over (false) for the recv half.
+	Reduce bool
+	// SendElems / RecvElems bound the element count the action's halves
+	// move, counted from the segment start. They are consulted only in
+	// ragged (AllToAllv) sequences, where a transit slot is sized to the
+	// largest in-flight block and the block it currently carries may be
+	// shorter — including zero-length blocks for zero-count peers, which
+	// still exchange (empty) chunks so the uniform ring schedule keeps
+	// its flow-control token per step. Even sequences ignore them and
+	// move whole segments.
+	SendElems, RecvElems int
 }
 
 // HasSend reports whether the action writes to the send connector.
@@ -165,6 +268,8 @@ func (a Action) HasSend() bool { return a.SendSeg >= 0 }
 // HasRecv reports whether the action reads from the recv connector.
 func (a Action) HasRecv() bool { return a.RecvSeg >= 0 }
 
+// String renders the action in the paper's primitive vocabulary
+// (send / recvCopy / recvReduce and their fused forms).
 func (a Action) String() string {
 	switch {
 	case a.HasRecv() && a.HasSend() && a.Reduce:
@@ -227,6 +332,10 @@ type Sequence struct {
 	// when the result is scattered across the working buffer (all-to-
 	// all); takes precedence over copyOutSeg when non-empty.
 	copyOutSegs []int
+	// ragged: segments carry variable-length blocks (AllToAllv), so the
+	// executor slices each action by its SendElems/RecvElems bound
+	// instead of the full segment extent.
+	ragged bool
 }
 
 // NumPrimitives returns the total primitive count across all rounds,
@@ -246,6 +355,40 @@ func (s *Sequence) roundSlice(seg, c int) segRange {
 		hi = sr.Hi
 	}
 	return segRange{Lo: lo, Hi: hi}
+}
+
+// limitSlice is roundSlice additionally clipped to the first elems
+// elements of the segment — the ragged-sequence slicing rule. Both ends
+// of a transfer compute the block's chunking from the same block length
+// (the action's SendElems on one side, RecvElems on the other), so a
+// short block in an oversized transit slot still slices identically on
+// sender and receiver; rounds past the block's end yield empty slices,
+// which still move (zero-length) chunks through the connectors.
+func (s *Sequence) limitSlice(seg, c, elems int) segRange {
+	sr := s.roundSlice(seg, c)
+	if !s.ragged {
+		return sr
+	}
+	limit := s.segs[seg].Lo + elems
+	if sr.Lo > limit {
+		sr.Lo = limit
+	}
+	if sr.Hi > limit {
+		sr.Hi = limit
+	}
+	return sr
+}
+
+// sendSlice returns the element range action a's send half moves in
+// round c.
+func (s *Sequence) sendSlice(a Action, c int) segRange {
+	return s.limitSlice(a.SendSeg, c, a.SendElems)
+}
+
+// recvSlice returns the element range action a's recv half fills in
+// round c.
+func (s *Sequence) recvSlice(a Action, c int) segRange {
+	return s.limitSlice(a.RecvSeg, c, a.RecvElems)
 }
 
 // evenSegs splits count elements into n contiguous near-equal segments.
@@ -301,6 +444,8 @@ func (s Spec) SequenceFor(pos int) *Sequence {
 		return s.reduceSeq(pos, n)
 	case AllToAll:
 		return s.allToAllSeq(pos, n)
+	case AllToAllv:
+		return s.allToAllvSeq(pos, n)
 	default:
 		panic(fmt.Sprintf("prim: unknown kind %v", s.Kind))
 	}
@@ -435,16 +580,7 @@ func (s Spec) reduceScatterSeq(pos, n int) *Sequence {
 // block area, which no action ever overwrites.
 func (s Spec) allToAllSeq(pos, n int) *Sequence {
 	if n == 1 {
-		// Degenerate single-rank exchange: recv = send.
-		seq := &Sequence{
-			segs:           []segRange{{Lo: 0, Hi: s.Count}},
-			chunkElems:     s.chunk(),
-			workLen:        s.Count,
-			initCopyOwnSeg: initCopyWhole,
-			copyOutSeg:     -1,
-		}
-		seq.Rounds = ceilDiv(s.Count, seq.chunkElems)
-		return seq
+		return noopCopySeq(s.Count, s.chunk())
 	}
 	segs := make([]segRange, 2*n+2)
 	for i := range segs {
@@ -489,10 +625,133 @@ func (s Spec) allToAllSeq(pos, n int) *Sequence {
 	return seq
 }
 
+// noopCopySeq is the explicit single-participant all-to-all(-v)
+// sequence: a one-round local copy (recv = send) with no ring actions.
+// The init copy performs the data movement; Rounds is pinned to 1 —
+// rather than the chunk-count a ring exchange would need — so the
+// degenerate case is visibly "one no-op round", not an accident of the
+// executor tolerating an empty action list across many rounds.
+func noopCopySeq(count, chunk int) *Sequence {
+	return &Sequence{
+		segs:           []segRange{{Lo: 0, Hi: count}},
+		chunkElems:     chunk,
+		workLen:        count,
+		initCopyOwnSeg: initCopyWhole,
+		copyOutSeg:     -1,
+		Rounds:         1,
+	}
+}
+
+// allToAllvSeq builds the ragged-segment ring all-to-all: the same
+// store-and-forward schedule as allToAllSeq (distances st = 1..n-1, hop
+// h of a block forwarded at step (st, h), one block chunk sent and one
+// received per step), but block (src=i, dst=j) carries Counts[i][j]
+// elements instead of a uniform Count.
+//
+// Working-buffer (scratch) layout, as ragged segments:
+//
+//	[0, n)      own send blocks, block j sized Counts[pos][j]
+//	            (init copy of the send buffer — identical layout)
+//	[n, 2n)     received final blocks, block o sized Counts[o][pos]
+//	[2n, 2n+2)  two alternating transit slots, each sized to the
+//	            largest block this rank ever holds in flight
+//
+// Every action records the in-flight block's length (SendElems /
+// RecvElems), because a transit slot is generally larger than the block
+// it currently carries; the executor slices chunks against the block
+// length so sender and receiver agree even when the slot does not.
+// Rounds is derived from the largest travelling block in the whole
+// matrix — identical on every rank, which keeps the step-for-step ring
+// schedule aligned; shorter blocks simply send empty chunks in their
+// tail rounds. The copy-out concatenates origin blocks 0..n-1 (the
+// rank's own self block straight from the own-block area) with ragged
+// offsets, exactly the recv-buffer layout of RecvCountsFor.
+func (s Spec) allToAllvSeq(pos, n int) *Sequence {
+	cnt := s.Counts
+	if n == 1 {
+		return noopCopySeq(cnt[0][0], s.chunk())
+	}
+	// Largest block received at a non-final hop sizes this rank's
+	// transit slots; largest travelling block anywhere sets Rounds.
+	maxTransit, maxMoved := 0, 0
+	for st := 1; st < n; st++ {
+		for h := 1; h < st; h++ {
+			o := mod(pos-h, n)
+			if l := cnt[o][mod(o+st, n)]; l > maxTransit {
+				maxTransit = l
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && cnt[i][j] > maxMoved {
+				maxMoved = cnt[i][j]
+			}
+		}
+	}
+	segs := make([]segRange, 2*n+2)
+	lo := 0
+	for j := 0; j < n; j++ { // own blocks, send-buffer layout
+		segs[j] = segRange{Lo: lo, Hi: lo + cnt[pos][j]}
+		lo = segs[j].Hi
+	}
+	for o := 0; o < n; o++ { // final blocks by origin
+		segs[n+o] = segRange{Lo: lo, Hi: lo + cnt[o][pos]}
+		lo = segs[n+o].Hi
+	}
+	for t := 0; t < 2; t++ { // transit slots
+		segs[2*n+t] = segRange{Lo: lo, Hi: lo + maxTransit}
+		lo = segs[2*n+t].Hi
+	}
+	seq := &Sequence{
+		segs:           segs,
+		chunkElems:     s.chunk(),
+		workLen:        lo,
+		initCopyOwnSeg: initCopyPrefix,
+		useScratch:     true,
+		copyOutSeg:     -1,
+		ragged:         true,
+	}
+	seq.Rounds = ceilDiv(maxMoved, seq.chunkElems)
+	seq.copyOutSegs = make([]int, n)
+	for o := 0; o < n; o++ {
+		seq.copyOutSegs[o] = n + o // final block from origin o
+	}
+	seq.copyOutSegs[pos] = pos // self block stays in the own area
+	transit, lastTransit := 0, 0
+	for st := 1; st < n; st++ {
+		for h := 1; h <= st; h++ {
+			var a Action
+			sendOrig := mod(pos-(h-1), n) // origin of the block sent this step
+			a.SendElems = cnt[sendOrig][mod(sendOrig+st, n)]
+			if h == 1 {
+				// Inject the rank's own block destined st hops ahead.
+				a.SendSeg = mod(pos+st, n)
+			} else {
+				// Forward the block received at the previous step.
+				a.SendSeg = 2*n + lastTransit
+			}
+			recvOrig := mod(pos-h, n) // origin of the block received this step
+			a.RecvElems = cnt[recvOrig][mod(recvOrig+st, n)]
+			if h == st {
+				// Final hop: the block originated st hops behind.
+				a.RecvSeg = n + recvOrig
+			} else {
+				a.RecvSeg = 2*n + transit
+				lastTransit = transit
+				transit = 1 - transit
+			}
+			seq.Actions = append(seq.Actions, a)
+		}
+	}
+	return seq
+}
+
 // BufferCounts returns the required send/recv buffer element counts for
 // a spec, following NCCL buffer-size conventions: all-gather's recv
 // buffer holds Count×N, reduce-scatter's holds Count/N, all-to-all's
-// send and recv both hold Count×N.
+// send and recv both hold Count×N. AllToAllv buffer sizes are per-rank
+// (row and column sums of the Counts matrix); use BufferCountsFor.
 func BufferCounts(s Spec) (sendCount, recvCount int) {
 	switch s.Kind {
 	case AllReduce, Broadcast, Reduce:
@@ -503,9 +762,24 @@ func BufferCounts(s Spec) (sendCount, recvCount int) {
 		return s.Count, s.Count / s.N()
 	case AllToAll:
 		return s.Count * s.N(), s.Count * s.N()
+	case AllToAllv:
+		panic("prim: all-to-all-v buffer counts are per-rank; use BufferCountsFor")
 	default:
 		panic(fmt.Sprintf("prim: unknown kind %v", s.Kind))
 	}
+}
+
+// BufferCountsFor returns the send/recv buffer element counts required
+// of the participant at ring position pos. For the uniform kinds it
+// equals BufferCounts; for AllToAllv the send buffer holds the sum of
+// row pos of the Counts matrix (blocks to each peer, in ring order)
+// and the recv buffer the sum of column pos (blocks from each origin,
+// in ring order).
+func BufferCountsFor(s Spec, pos int) (sendCount, recvCount int) {
+	if s.Kind == AllToAllv {
+		return sumInts(s.SendCountsFor(pos)), sumInts(s.RecvCountsFor(pos))
+	}
+	return BufferCounts(s)
 }
 
 func (s Spec) broadcastSeq(pos, n int) *Sequence {

@@ -23,6 +23,21 @@ type Result struct {
 	IterTimes *metrics.Series
 	// Elapsed is the total virtual time.
 	Elapsed sim.Duration
+	// A2ABytes totals the semantic dispatch/combine payload the MoE
+	// workload moved across all ranks and iterations — the bytes a
+	// padded AllToAll inflates and AllToAllv does not. Zero for non-MoE
+	// workloads.
+	A2ABytes int64
+	// OutputHash fingerprints the MoE combined token outputs (FNV-1a
+	// over the IEEE-754 bits in iteration/rank/token/element order), so
+	// two dispatch layouts can be compared for bit-identical results
+	// across runs. Note RunMoE already pins every output element to the
+	// serial reference in-run, so for two *successful* runs of the same
+	// config equal hashes are expected; the hash is the reported,
+	// directly comparable witness of that, and stays meaningful if the
+	// in-run check is ever relaxed to a tolerance. Zero for non-MoE
+	// workloads.
+	OutputHash uint64
 }
 
 // RunningThroughput returns the Fig. 12 metric: element i is the mean

@@ -1,7 +1,10 @@
 package train
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"dfccl/internal/mem"
 	"dfccl/internal/metrics"
@@ -23,8 +26,8 @@ const (
 
 // MoEConfig configures Mixture-of-Experts expert-parallel training:
 // one expert per rank, top-k routing with a rotating hot expert, token
-// dispatch and combine over AllToAll, and a data-parallel AllReduce of
-// the non-expert (shared) gradients.
+// dispatch and combine over AllToAllv (or capacity-padded AllToAll),
+// and a data-parallel AllReduce of the non-expert (shared) gradients.
 type MoEConfig struct {
 	// Ranks is the expert-parallel world size; expert e lives on rank e.
 	Ranks int
@@ -47,6 +50,17 @@ type MoEConfig struct {
 	// after — MoE's group churn, the load on the communicator pool.
 	// Requires a backend implementing orch.DynamicBackend.
 	DynamicGroups bool
+	// PaddedAllToAll dispatches over the fixed-capacity AllToAll: every
+	// (source, expert) block is padded to the worst-case token count, so
+	// bandwidth is wasted exactly where routing is skewed. It is the
+	// reference layout the default AllToAllv path is verified against
+	// (identical combined outputs, strictly fewer bytes moved). The
+	// default (false) sends exactly the routed token counts per expert
+	// over AllToAllv; because the count matrix changes with the routing
+	// every iteration, that path opens and closes the dispatch/combine
+	// collectives each iteration and therefore requires a backend
+	// implementing orch.DynamicBackend even without DynamicGroups.
+	PaddedAllToAll bool
 }
 
 // moeTokenVal is the deterministic element value of token t of rank r
@@ -78,10 +92,43 @@ func (c MoEConfig) route(r, t, it int) []int {
 	return out
 }
 
-// capacitySlots is the per-(source, expert) block capacity in tokens.
-// route returns TopK distinct experts per token, so one expert receives
-// at most one copy of each of a rank's tokens: the worst case of every
-// local token picking this expert among its choices.
+// routedTokens returns the iteration's routing matrix: m[src][dst] is
+// the number of token copies rank src routes to expert dst. The router
+// is a pure function of (rank, token, iteration), so every rank
+// computes the identical global matrix without communication — the
+// all-gather of counts a real MoE layer performs before an uneven
+// dispatch.
+func (c MoEConfig) routedTokens(it int) [][]int {
+	m := make([][]int, c.Ranks)
+	for src := range m {
+		m[src] = make([]int, c.Ranks)
+		for t := 0; t < c.TokensPerRank; t++ {
+			for _, e := range c.route(src, t, it) {
+				m[src][e]++
+			}
+		}
+	}
+	return m
+}
+
+// scaleMatrix multiplies every entry of a token matrix by f (tokens →
+// elements).
+func scaleMatrix(m [][]int, f int) [][]int {
+	out := make([][]int, len(m))
+	for i, row := range m {
+		out[i] = make([]int, len(row))
+		for j, v := range row {
+			out[i][j] = v * f
+		}
+	}
+	return out
+}
+
+// capacitySlots is the per-(source, expert) block capacity in tokens of
+// the padded layout. route returns TopK distinct experts per token, so
+// one expert receives at most one copy of each of a rank's tokens: the
+// worst case of every local token picking this expert among its
+// choices.
 func (c MoEConfig) capacitySlots() int { return c.TokensPerRank }
 
 func (c MoEConfig) validate(cluster *topo.Cluster) error {
@@ -112,18 +159,23 @@ const (
 
 // RunMoE trains a Mixture-of-Experts layer under expert parallelism:
 // per iteration, each rank routes its tokens (top-k, skewed towards a
-// rotating hot expert), dispatches them to their experts over
-// AllToAll, applies the local expert, combines the results back over
-// a second AllToAll, all-reduces the shared dense gradient across all
-// ranks, and — with DynamicGroups — opens and closes the iteration's
-// collectives plus an overloaded-expert subgroup all-reduce, churning
-// the communicator pool.
+// rotating hot expert), dispatches them to their experts — over
+// AllToAllv with exactly the routed per-expert token counts, or over
+// capacity-padded AllToAll with PaddedAllToAll — applies the local
+// expert, combines the results back over the reverse exchange,
+// all-reduces the shared dense gradient across all ranks, and — with
+// DynamicGroups — additionally churns an overloaded-expert subgroup
+// all-reduce through the communicator pool.
 //
 // All collectives carry real data and RunMoE verifies the combined
 // token outputs, the dense gradient sum, and the subgroup sum exactly
 // against a serial reference; any mismatch is returned as an error.
-// The backend must implement orch.DataBackend (and orch.DynamicBackend
-// when DynamicGroups is set).
+// The Result additionally reports the total dispatch/combine payload
+// (A2ABytes) and a bit-exact fingerprint of the combined outputs
+// (OutputHash), so the AllToAllv and padded layouts can be compared:
+// identical hashes, strictly fewer bytes for AllToAllv under skew.
+// The backend must implement orch.DataBackend, plus orch.DynamicBackend
+// when DynamicGroups is set or the (default) AllToAllv path is used.
 func RunMoE(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg MoEConfig) (*Result, error) {
 	if err := cfg.validate(cluster); err != nil {
 		return nil, err
@@ -133,7 +185,7 @@ func RunMoE(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg MoEConfig)
 		return nil, fmt.Errorf("train: backend %s cannot carry MoE data (no RegisterData)", b.Name())
 	}
 	var dyn orch.DynamicBackend
-	if cfg.DynamicGroups {
+	if cfg.DynamicGroups || !cfg.PaddedAllToAll {
 		if dyn, ok = b.(orch.DynamicBackend); !ok {
 			return nil, fmt.Errorf("train: backend %s cannot churn MoE groups (no Deregister)", b.Name())
 		}
@@ -143,8 +195,15 @@ func RunMoE(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg MoEConfig)
 	for i := range ranks {
 		ranks[i] = i
 	}
-	blockElems := cfg.capacitySlots() * cfg.ElemsPerToken // AllToAll Count
 	res := &Result{Backend: b.Name(), IterTimes: &metrics.Series{Name: b.Name()}}
+
+	// outs collects each rank's combined token outputs in iteration/
+	// token/element order; hashed after the run in rank order.
+	outs := make([][]float64, n)
+	for r := range outs {
+		outs[r] = make([]float64, 0, cfg.Iterations*cfg.TokensPerRank*cfg.ElemsPerToken)
+	}
+
 	bar := newBarrier(n)
 	var firstErr error
 	fail := func(err error) {
@@ -155,7 +214,7 @@ func RunMoE(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg MoEConfig)
 	for rank := 0; rank < n; rank++ {
 		rank := rank
 		e.Spawn(fmt.Sprintf("train.moe.rank%d", rank), func(p *sim.Process) {
-			if err := runMoERank(p, db, dyn, cfg, rank, ranks, blockElems, bar, res); err != nil {
+			if err := runMoERank(p, db, dyn, cfg, rank, ranks, bar, res, outs); err != nil {
 				fail(err)
 			}
 		})
@@ -167,16 +226,67 @@ func RunMoE(e *sim.Engine, cluster *topo.Cluster, b orch.Backend, cfg MoEConfig)
 	if err != nil {
 		return nil, fmt.Errorf("train: %s: %w (blocked: %v)", b.Name(), err, e.BlockedProcesses())
 	}
+	h := fnv.New64a()
+	var word [8]byte
+	for r := 0; r < n; r++ {
+		for _, v := range outs[r] {
+			binary.LittleEndian.PutUint64(word[:], math.Float64bits(v))
+			h.Write(word[:])
+		}
+	}
+	res.OutputHash = h.Sum64()
 	res.Elapsed = sim.Duration(e.Now())
 	res.Throughput = metrics.Throughput(n*cfg.TokensPerRank*cfg.Iterations, res.Elapsed)
 	return res, nil
 }
 
-func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cfg MoEConfig, rank int, ranks []int, blockElems int, bar *barrier, res *Result) error {
+// moeLayout is one iteration's dispatch/combine buffer geometry on one
+// rank. sendBase[e] is the element offset of the expert-e block in the
+// dispatch send buffer (equally: in the combine recv buffer, which the
+// reverse exchange lays out identically); recvBase[src] is the offset
+// of the origin-src block in the dispatch recv buffer (equally: the
+// combine send buffer). In the padded layout both strides are the
+// fixed block capacity; in the ragged layout they are prefix sums of
+// the iteration's routing matrix row (column, respectively).
+type moeLayout struct {
+	sendBase, recvBase   []int
+	sendElems, recvElems int
+}
+
+func moeLayoutFor(cfg MoEConfig, rank int, tokCnt [][]int) moeLayout {
+	n := cfg.Ranks
+	ept := cfg.ElemsPerToken
+	l := moeLayout{sendBase: make([]int, n), recvBase: make([]int, n)}
+	if cfg.PaddedAllToAll {
+		blockElems := cfg.capacitySlots() * ept
+		for i := 0; i < n; i++ {
+			l.sendBase[i] = i * blockElems
+			l.recvBase[i] = i * blockElems
+		}
+		l.sendElems = n * blockElems
+		l.recvElems = n * blockElems
+		return l
+	}
+	off := 0
+	for e := 0; e < n; e++ {
+		l.sendBase[e] = off
+		off += tokCnt[rank][e] * ept
+	}
+	l.sendElems = off
+	off = 0
+	for src := 0; src < n; src++ {
+		l.recvBase[src] = off
+		off += tokCnt[src][rank] * ept
+	}
+	l.recvElems = off
+	return l
+}
+
+func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cfg MoEConfig, rank int, ranks []int, bar *barrier, res *Result, outs [][]float64) error {
 	var b orch.Backend = db
 	n := cfg.Ranks
 	ept := cfg.ElemsPerToken
-	slots := cfg.capacitySlots()
+	blockElems := cfg.capacitySlots() * ept
 
 	// Persistent dense-gradient all-reduce over all ranks.
 	denseSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, cfg.DenseGradElems)
@@ -186,21 +296,28 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 		return err
 	}
 
-	// AllToAll buffers: Count×N elements each.
-	dispatchSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
-	dispatchRecv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
-	combineSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
-	combineRecv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
-	a2aSpec := prim.Spec{Kind: prim.AllToAll, Count: blockElems, Type: mem.Float64, Ranks: ranks}
+	// Padded-mode buffers are capacity-sized once; the ragged path
+	// allocates per iteration because the routed counts change.
+	var dispatchSend, dispatchRecv, combineSend, combineRecv *mem.Buffer
+	if cfg.PaddedAllToAll {
+		dispatchSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+		dispatchRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+		combineSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+		combineRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
+	}
+	padSpec := prim.Spec{Kind: prim.AllToAll, Count: blockElems, Type: mem.Float64, Ranks: ranks}
 
 	dispatchID := func(it int) int { return moeCollBase + it*moeCollStride + moeSlotDispatch }
 	combineID := func(it int) int { return moeCollBase + it*moeCollStride + moeSlotCombine }
-	if !cfg.DynamicGroups {
-		// Static groups: register dispatch/combine once (iteration 0 IDs).
-		if err := db.RegisterData(p, rank, dispatchID(0), a2aSpec, 0, dispatchSend, dispatchRecv); err != nil {
+	// Padded static groups: register dispatch/combine once (iteration 0
+	// IDs). The ragged path always registers per iteration — the count
+	// matrix is part of the spec.
+	perIter := cfg.DynamicGroups || !cfg.PaddedAllToAll
+	if cfg.PaddedAllToAll && !cfg.DynamicGroups {
+		if err := db.RegisterData(p, rank, dispatchID(0), padSpec, 0, dispatchSend, dispatchRecv); err != nil {
 			return err
 		}
-		if err := db.RegisterData(p, rank, combineID(0), a2aSpec, 0, combineSend, combineRecv); err != nil {
+		if err := db.RegisterData(p, rank, combineID(0), padSpec, 0, combineSend, combineRecv); err != nil {
 			return err
 		}
 	}
@@ -208,27 +325,54 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 	// slotTok[e][s] is the local token a dispatched slot carries.
 	slotTok := make([][]int, n)
 	for e := range slotTok {
-		slotTok[e] = make([]int, slots)
+		slotTok[e] = make([]int, cfg.TokensPerRank)
 	}
 	slotUsed := make([]int, n)
 
 	for it := 0; it < cfg.Iterations; it++ {
 		start := p.Now()
+		tokCnt := cfg.routedTokens(it)
+		layout := moeLayoutFor(cfg, rank, tokCnt)
 		dID, cID := dispatchID(0), combineID(0)
-		if cfg.DynamicGroups {
+		if perIter {
 			dID, cID = dispatchID(it), combineID(it)
-			if err := db.RegisterData(p, rank, dID, a2aSpec, 0, dispatchSend, dispatchRecv); err != nil {
+			dSpec, cSpec := padSpec, padSpec
+			if !cfg.PaddedAllToAll {
+				// Ragged buffers: row/column sums of this iteration's
+				// element-count matrix. The combine exchange reverses the
+				// dispatch, so its count matrix is the transpose — which
+				// makes the combine send layout equal the dispatch recv
+				// layout and vice versa.
+				dispatchSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, layout.sendElems)
+				dispatchRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, layout.recvElems)
+				combineSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, layout.recvElems)
+				combineRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, layout.sendElems)
+				elemCnt := scaleMatrix(tokCnt, ept)
+				dSpec = prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: ranks, Counts: elemCnt}
+				cSpec = prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: ranks, Counts: transpose(elemCnt)}
+			}
+			if err := db.RegisterData(p, rank, dID, dSpec, 0, dispatchSend, dispatchRecv); err != nil {
 				return err
 			}
-			if err := db.RegisterData(p, rank, cID, a2aSpec, 0, combineSend, combineRecv); err != nil {
+			if err := db.RegisterData(p, rank, cID, cSpec, 0, combineSend, combineRecv); err != nil {
 				return err
 			}
 		}
+		// Payload accounting, measured from the live buffers this
+		// iteration's exchanges actually carry (not recomputed from the
+		// routing): the padded layout launches n full-capacity blocks
+		// per exchange regardless of skew, the ragged layout exactly
+		// the routed elements. Rank processes are cooperatively
+		// scheduled, so the shared accumulation is race-free.
+		res.A2ABytes += int64((dispatchSend.Len() + combineSend.Len()) * mem.Float64.Size())
 
 		// Router: gate every token, then pack token copies into the
-		// per-expert dispatch blocks (zero padding marks unused slots).
+		// per-expert dispatch blocks in token order (the ragged layout
+		// has no unused slots; the padded layout zero-fills the rest).
 		p.Sleep(sim.Duration(cfg.TokensPerRank) * RouterTokenTime)
-		dispatchSend.Fill(0)
+		if cfg.PaddedAllToAll {
+			dispatchSend.Fill(0)
+		}
 		for e := range slotUsed {
 			slotUsed[e] = 0
 		}
@@ -237,7 +381,7 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 				s := slotUsed[e]
 				slotUsed[e]++
 				slotTok[e][s] = t
-				off := e*blockElems + s*ept
+				off := layout.sendBase[e] + s*ept
 				for i := 0; i < ept; i++ {
 					dispatchSend.SetFloat64(off+i, moeTokenVal(rank, t, it, i))
 				}
@@ -263,15 +407,13 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 		b.Wait(p, rank, dID)
 
 		// Expert compute: this rank's expert transforms every routed
-		// token it received; compute time scales with actual load, so
-		// the skew-overloaded expert straggles.
+		// token it received (tokCnt tells it exactly how many from each
+		// source); compute time scales with actual load, so the
+		// skew-overloaded expert straggles.
 		received := 0
 		for src := 0; src < n; src++ {
-			for s := 0; s < slots; s++ {
-				off := src*blockElems + s*ept
-				if dispatchRecv.Float64At(off) == 0 {
-					continue // padding: tokens are ≥1 by construction
-				}
+			for s := 0; s < tokCnt[src][rank]; s++ {
+				off := layout.recvBase[src] + s*ept
 				received++
 				for i := 0; i < ept; i++ {
 					combineSend.SetFloat64(off+i, moeExpertScale(rank)*dispatchRecv.Float64At(off+i))
@@ -285,8 +427,10 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 		}
 		b.Wait(p, rank, cID)
 
-		// Combine: sum the top-k expert outputs per token and verify
-		// against the serial reference.
+		// Combine: sum the top-k expert outputs per token — in route
+		// order, so the floating-point addition order (and therefore
+		// the output bits) is independent of the dispatch layout — and
+		// verify against the serial reference.
 		for t := 0; t < cfg.TokensPerRank; t++ {
 			experts := cfg.route(rank, t, it)
 			for i := 0; i < ept; i++ {
@@ -297,11 +441,12 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 				var got float64
 				for _, e := range experts {
 					s := slotOf(slotTok[e], slotUsed[e], t)
-					got += combineRecv.Float64At(e*blockElems + s*ept + i)
+					got += combineRecv.Float64At(layout.sendBase[e] + s*ept + i)
 				}
 				if got != want {
 					return fmt.Errorf("train: moe rank %d iter %d token %d elem %d = %v, want %v", rank, it, t, i, got, want)
 				}
+				outs[rank] = append(outs[rank], got)
 			}
 		}
 
@@ -341,7 +486,7 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 		}
 		p.Sleep(OptimizerTime)
 
-		if cfg.DynamicGroups {
+		if perIter {
 			if err := dyn.Deregister(p, rank, dID); err != nil {
 				return err
 			}
@@ -358,6 +503,20 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 	}
 	b.Teardown(p, rank)
 	return nil
+}
+
+// transpose returns the matrix transpose (the combine exchange's count
+// matrix is the dispatch matrix transposed).
+func transpose(m [][]int) [][]int {
+	n := len(m)
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, n)
+		for j := range out[i] {
+			out[i][j] = m[j][i]
+		}
+	}
+	return out
 }
 
 // slotOf finds the dispatch slot that carried token t (slots are

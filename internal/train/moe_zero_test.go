@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"dfccl/internal/core"
+	"dfccl/internal/mem"
 	"dfccl/internal/orch"
+	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
 )
@@ -197,3 +199,61 @@ func TestRunZeRODisorderDeadlockOnlyWithoutDFCCL(t *testing.T) {
 		t.Fatalf("dfccl on the same schedule: %v", err)
 	}
 }
+
+// TestRunMoERaggedMatchesPadded is the dispatch-substitution check:
+// the AllToAllv path (exact routed counts) and the padded AllToAll
+// reference produce bit-identical combined token outputs while the
+// ragged path moves strictly fewer dispatch bytes under the skewed
+// router.
+func TestRunMoERaggedMatchesPadded(t *testing.T) {
+	run := func(padded bool) *Result {
+		cfg := moeTestConfig(4)
+		cfg.PaddedAllToAll = padded
+		e, cluster, b := mkBackend(t, "dfccl", cfg.Ranks)
+		res, err := RunMoE(e, cluster, b, cfg)
+		if err != nil {
+			t.Fatalf("padded=%v: %v", padded, err)
+		}
+		return res
+	}
+	ragged, padded := run(false), run(true)
+	if ragged.OutputHash != padded.OutputHash {
+		t.Fatalf("combined outputs diverged: ragged hash %x, padded hash %x", ragged.OutputHash, padded.OutputHash)
+	}
+	if ragged.OutputHash == 0 {
+		t.Fatal("output hash not recorded")
+	}
+	if ragged.A2ABytes == 0 || ragged.A2ABytes >= padded.A2ABytes {
+		t.Fatalf("dispatch bytes: ragged=%d padded=%d; want 0 < ragged < padded", ragged.A2ABytes, padded.A2ABytes)
+	}
+}
+
+// TestRunMoERaggedNeedsDynamicBackend pins the contract: the AllToAllv
+// path re-registers per iteration, so a backend without Deregister is
+// rejected up front (the padded path on static groups still works).
+func TestRunMoERaggedNeedsDynamicBackend(t *testing.T) {
+	cfg := moeTestConfig(1)
+	e, cluster, _ := mkBackend(t, "dfccl", cfg.Ranks)
+	if _, err := RunMoE(e, cluster, staticOnlyBackend{inner: orch.NewStaticSort(e, cluster)}, cfg); err == nil {
+		t.Fatal("RunMoE accepted a non-dynamic backend for the AllToAllv path")
+	}
+}
+
+// staticOnlyBackend exposes exactly the Backend+DataBackend surface of
+// a real backend (no promoted Deregister), so the DynamicBackend type
+// assertion fails.
+type staticOnlyBackend struct{ inner *orch.StaticSort }
+
+func (s staticOnlyBackend) Name() string { return s.inner.Name() }
+func (s staticOnlyBackend) Register(p *sim.Process, rank, collID int, spec prim.Spec, priority int) error {
+	return s.inner.Register(p, rank, collID, spec, priority)
+}
+func (s staticOnlyBackend) RegisterData(p *sim.Process, rank, collID int, spec prim.Spec, priority int, send, recv *mem.Buffer) error {
+	return s.inner.RegisterData(p, rank, collID, spec, priority, send, recv)
+}
+func (s staticOnlyBackend) Launch(p *sim.Process, rank, collID int) error {
+	return s.inner.Launch(p, rank, collID)
+}
+func (s staticOnlyBackend) Wait(p *sim.Process, rank, collID int) { s.inner.Wait(p, rank, collID) }
+func (s staticOnlyBackend) WaitAll(p *sim.Process, rank int)      { s.inner.WaitAll(p, rank) }
+func (s staticOnlyBackend) Teardown(p *sim.Process, rank int)     { s.inner.Teardown(p, rank) }
