@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test ci smoke doccheck
+.PHONY: all fmt vet build test test-race ci smoke doccheck
 
 all: ci
 
@@ -19,6 +19,13 @@ build:
 test:
 	$(GO) test ./...
 
+# test-race runs the whole suite under the race detector. The
+# simulation engine is cooperatively scheduled, so this mostly guards
+# the host-side harness code (benches, workloads) against accidental
+# real concurrency; ~1 min.
+test-race:
+	$(GO) test -race ./...
+
 ci: fmt vet build test
 
 # doccheck fails if any exported identifier in the root package,
@@ -27,10 +34,11 @@ ci: fmt vet build test
 doccheck:
 	$(GO) run ./cmd/doccheck
 
-# smoke is the fast all-in-one gate: formatting, static checks, the
-# godoc floor, and a minimal-iteration pass through every cmd/* entry
-# point. Runs in a few seconds; see TESTING.md.
-smoke: fmt vet build doccheck
+# smoke is the all-in-one gate: formatting, static checks (go vet), the
+# race-detector test pass, the godoc floor, and a minimal-iteration pass
+# through every cmd/* entry point. The cmd/ pass takes a few seconds;
+# test-race dominates (~1 min). See TESTING.md.
+smoke: fmt vet build test-race doccheck
 	$(GO) run ./cmd/overhead > /dev/null
 	$(GO) run ./cmd/dlprevent -iters 2 > /dev/null
 	$(GO) run ./cmd/dlprevent -lib nccl > /dev/null
@@ -39,4 +47,5 @@ smoke: fmt vet build doccheck
 	$(GO) run ./cmd/trainbench -fig 11 -iters 1 > /dev/null
 	$(GO) run ./cmd/trainbench -fig moe -iters 2 -trials 1 > /dev/null
 	$(GO) run ./cmd/trainbench -fig zero -iters 2 -trials 1 > /dev/null
+	$(GO) run ./cmd/trainbench -fig a2a > /dev/null
 	@echo "smoke: all entry points OK"

@@ -8,6 +8,10 @@
 //	          dynamic expert groups, deadlock ratio vs NCCL
 //	-fig zero ZeRO/FSDP sharded data parallelism, stages 1-3,
 //	          stage-3 churn, deadlock ratio vs NCCL
+//	-fig a2a  Fig. 8-style all-to-all algorithm sweep: flat ring vs
+//	          hierarchical (topology-aware) across node counts and
+//	          skew, with per-transport wire bytes and a bit-identical
+//	          output check
 //
 // Iteration counts default to paper-scale (200) for -fig 10/13; use
 // -iters to reduce for quick runs. -trials sets the disordered-
@@ -20,10 +24,11 @@ import (
 	"os"
 
 	"dfccl/internal/bench"
+	"dfccl/internal/prim"
 )
 
 func main() {
-	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, or zero")
+	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, or a2a")
 	iters := flag.Int("iters", 0, "training iterations (0 = figure default)")
 	trials := flag.Int("trials", 5, "disordered trials for the moe/zero deadlock tally")
 	flag.Parse()
@@ -111,6 +116,42 @@ func main() {
 		}
 		fmt.Printf("deadlock ratio over %d disordered stage-2 schedules: dfccl %.2f, nccl-singlestream %.2f\n",
 			tally.Trials, tally.Ratio(true), tally.Ratio(false))
+	case "a2a":
+		rows, err := bench.AllToAllAlgoSweep()
+		check(err)
+		fmt.Println("all-to-all algorithm sweep (real-data AllToAllv, ring vs hierarchical; bytes are total wire traffic incl. forwarding hops)")
+		for _, r := range rows {
+			fmt.Println("  " + r.String())
+		}
+		// Enforce the sweep's claims: identical outputs everywhere;
+		// strictly fewer RDMA bytes for hierarchical on multi-node
+		// shapes; zero RDMA on one node.
+		type cell struct {
+			nodes int
+			skew  string
+			algo  prim.Algorithm
+		}
+		byKey := map[cell]bench.A2ARow{}
+		for _, r := range rows {
+			if !r.BitIdentical {
+				check(fmt.Errorf("%d-node %s: hierarchical outputs diverged from the ring", r.Nodes, r.Skew))
+			}
+			byKey[cell{r.Nodes, r.Skew, r.Algo}] = r
+		}
+		for _, r := range rows {
+			if r.Algo != prim.AlgoHierarchical {
+				continue
+			}
+			ring := byKey[cell{r.Nodes, r.Skew, prim.AlgoRing}]
+			switch {
+			case r.Nodes == 1 && r.RDMABytes != 0:
+				check(fmt.Errorf("1-node %s: hierarchical moved %d RDMA bytes, want 0", r.Skew, r.RDMABytes))
+			case r.Nodes > 1 && r.RDMABytes >= ring.RDMABytes:
+				check(fmt.Errorf("%d-node %s: hierarchical RDMA bytes %d not below ring's %d",
+					r.Nodes, r.Skew, r.RDMABytes, ring.RDMABytes))
+			}
+		}
+		fmt.Println("hierarchical outputs bit-identical to the ring on every shape; RDMA bytes strictly lower on multi-node shapes")
 	default:
 		check(fmt.Errorf("unknown -fig %q", *fig))
 	}

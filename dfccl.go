@@ -79,10 +79,19 @@ type (
 	Future = core.Future
 	// CollectiveStats are per-handle scheduling statistics.
 	CollectiveStats = core.CollectiveStats
-	// OpenOption configures Open (WithPriority, WithCollID, WithGrid).
+	// OpenOption configures Open (WithPriority, WithCollID, WithGrid,
+	// WithCounts, WithAlgorithm).
 	OpenOption = core.OpenOption
 	// BatchItem is one launch in a Batch.
 	BatchItem = core.BatchItem
+	// Algorithm selects the primitive-sequence algorithm of a
+	// collective: AlgoRing (default) or AlgoHierarchical for the
+	// topology-aware all-to-all variants.
+	Algorithm = prim.Algorithm
+	// TransportBytes is a per-transport (local / SHM / RDMA) split of
+	// the wire traffic a collective's executor sent, reported through
+	// CollectiveStats.
+	TransportBytes = prim.TransportBytes
 )
 
 // Functional options for (*RankContext).Open.
@@ -96,6 +105,22 @@ var (
 	// WithCounts supplies the AllToAllv per-peer count matrix:
 	// counts[i][j] elements flow from devSet position i to position j.
 	WithCounts = core.WithCounts
+	// WithAlgorithm selects the collective's primitive-sequence
+	// algorithm (AlgoRing or, for the all-to-all variants,
+	// AlgoHierarchical). All ranks must open the same algorithm;
+	// unknown algorithms are rejected at Open.
+	WithAlgorithm = core.WithAlgorithm
+)
+
+// Collective algorithms selectable with WithAlgorithm.
+const (
+	// AlgoRing is the flat topology-blind ring (the default).
+	AlgoRing = prim.AlgoRing
+	// AlgoHierarchical tiers the all-to-all by node topology: direct
+	// SHM exchange intra-node, a leader ring of aggregated blocks over
+	// RDMA inter-node — strictly fewer inter-node bytes than the flat
+	// ring on multi-node clusters.
+	AlgoHierarchical = prim.AlgoHierarchical
 )
 
 // AllReduce builds the spec of an all-reduce over devSet: every rank

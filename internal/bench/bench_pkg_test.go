@@ -200,3 +200,30 @@ func TestMoEZeROScenarios(t *testing.T) {
 		t.Fatal("single-stream NCCL survived every disordered ZeRO trial; scenario exercises nothing")
 	}
 }
+
+// TestA2ASweepInvariants runs one cell of the all-to-all algorithm
+// sweep (2 nodes, hot-row skew) and pins the claims cmd/trainbench
+// enforces across the full sweep: bit-identical outputs and strictly
+// fewer hierarchical RDMA bytes.
+func TestA2ASweepInvariants(t *testing.T) {
+	cluster := topo.NewCluster(2, 2, topo.RTX3090, topo.DefaultLinks)
+	counts := a2aCounts(4, "hot-row")
+	ringRow, ringOuts, err := runA2A(cluster, counts, prim.AlgoRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hierRow, hierOuts, err := runA2A(cluster, counts, prim.AlgoHierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytesEqual(ringOuts, hierOuts) {
+		t.Fatal("hierarchical outputs diverged from the ring")
+	}
+	if hierRow.RDMABytes == 0 || hierRow.RDMABytes >= ringRow.RDMABytes {
+		t.Fatalf("RDMA bytes: hierarchical=%d ring=%d; want 0 < hierarchical < ring",
+			hierRow.RDMABytes, ringRow.RDMABytes)
+	}
+	if hierRow.E2E <= 0 || ringRow.E2E <= 0 {
+		t.Fatal("missing end-to-end timing")
+	}
+}

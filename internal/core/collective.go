@@ -17,6 +17,8 @@ type openOpts struct {
 	priority int
 	grid     int
 	counts   [][]int
+	algo     prim.Algorithm
+	hasAlgo  bool
 }
 
 // WithCollID pins the collective to an explicit ID, as the paper's
@@ -58,6 +60,17 @@ func WithCounts(counts [][]int) OpenOption {
 	return func(o *openOpts) { o.counts = cp }
 }
 
+// WithAlgorithm selects the primitive-sequence algorithm of the opened
+// collective (prim.AlgoRing — the default — or prim.AlgoHierarchical
+// for the topology-aware all-to-all variants). Every participating
+// rank must open the same algorithm: the algorithm is part of the
+// spec's identity, so a re-registration under a different one is
+// refused, and Open rejects unknown algorithms or kinds the algorithm
+// does not support at validation.
+func WithAlgorithm(a prim.Algorithm) OpenOption {
+	return func(o *openOpts) { o.algo = a; o.hasAlgo = true }
+}
+
 // Collective is a typed handle to one registered collective on one
 // rank: the unit of the v2 API. It is obtained from Open, launched
 // with Launch (future style) or LaunchCB (callback style), observed
@@ -84,8 +97,12 @@ func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, err
 	if o.counts != nil {
 		spec.Counts = o.counts
 	}
+	if o.hasAlgo {
+		spec.Algo = o.algo
+	}
 	// Validation runs after options apply, since WithCounts completes an
-	// AllToAllv spec.
+	// AllToAllv spec and WithAlgorithm can select an unsupported
+	// (kind, algorithm) pair.
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,6 +187,12 @@ type CollectiveStats struct {
 	QueueLenAtLast int
 	// LastCoreExec is the most recent run's core-execution time.
 	LastCoreExec sim.Duration
+	// BytesSent is the cumulative wire traffic this rank's executor
+	// wrote across all runs, store-and-forward hops included.
+	BytesSent int
+	// BytesSentBy splits BytesSent by transport (SHM vs RDMA vs
+	// device-local) — what the hierarchical-vs-ring comparisons pin.
+	BytesSentBy prim.TransportBytes
 }
 
 // Stats returns this collective's per-rank scheduling statistics; the
@@ -188,6 +211,8 @@ func (c *Collective) Stats() CollectiveStats {
 		Completions:    t.Completions,
 		QueueLenAtLast: t.QueueLenAtLast,
 		LastCoreExec:   c.r.CoreExecTime(c.id),
+		BytesSent:      t.exec.BytesSent,
+		BytesSentBy:    t.exec.BytesSentBy,
 	}
 }
 

@@ -156,7 +156,7 @@ func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error
 	pos := g.posOf[r.Rank]
 	r.tasks[collID] = &collTask{
 		group: g,
-		exec:  g.comm.ring.ExecutorFor(r.sys.Cluster, g.Spec, pos, nil, nil),
+		exec:  g.comm.executorFor(r.sys.Cluster, g.Spec, pos),
 	}
 	g.refs++
 	return nil
@@ -418,8 +418,8 @@ func (r *RankContext) DebugPending() []string {
 	var out []string
 	for id, t := range r.tasks {
 		if len(t.runs) > 0 {
-			out = append(out, fmt.Sprintf("coll%d: runs=%d prepared=%v round=%d step=%d phase=%d ctxsw=%d",
-				id, len(t.runs), t.prepared, t.exec.Round, t.exec.Step, t.exec.Phase, t.CtxSwitches))
+			out = append(out, fmt.Sprintf("coll%d: runs=%d prepared=%v stage=%d round=%d step=%d phase=%d ctxsw=%d",
+				id, len(t.runs), t.prepared, t.exec.Stage, t.exec.Round, t.exec.Step, t.exec.Phase, t.CtxSwitches))
 		}
 	}
 	sort.Strings(out)

@@ -151,7 +151,7 @@ func (s *System) autoCollID(r *RankContext, spec prim.Spec) int {
 // including the AllToAllv count matrix (two variable-count collectives
 // with different routing must not share a registration).
 func sameSpec(a, b prim.Spec) bool {
-	if a.Kind != b.Kind || a.Count != b.Count || a.Type != b.Type || a.Op != b.Op || a.Root != b.Root ||
+	if a.Kind != b.Kind || a.Algo != b.Algo || a.Count != b.Count || a.Type != b.Type || a.Op != b.Op || a.Root != b.Root ||
 		a.TimingOnly != b.TimingOnly || a.ChunkElems != b.ChunkElems || len(a.Ranks) != len(b.Ranks) {
 		return false
 	}
@@ -193,14 +193,54 @@ func (s *System) CommsPooled() int {
 	return n
 }
 
-// communicator owns a ring for one registered collective; the pool
-// hands one out per collective so concurrently executing collectives
-// never share connectors (which would corrupt a preempted collective's
-// in-flight chunks).
+// communicator owns the connector wiring for one registered
+// collective; the pool hands one out per collective so concurrently
+// executing collectives never share connectors (which would corrupt a
+// preempted collective's in-flight chunks). The flat ring is built
+// eagerly (every algorithm's default); the hierarchical fabric — the
+// intra-node mesh plus leader ring AlgoHierarchical schedules over —
+// is built on first use and reused across the communicator's pooled
+// lifetimes, since both wirings depend only on the rank set.
 type communicator struct {
 	ranks []int
+	tag   string
 	ring  *prim.Ring
-	inUse bool
+	// hier is the hierarchical fabric, cached with the rank ORDER it
+	// was wired for: the pool rekeys communicators by sorted rank set,
+	// so a later collective over a permuted order must not inherit a
+	// fabric whose node grouping maps ring positions to the wrong
+	// machines (its per-transport wiring and pricing would silently
+	// misclassify cross-node traffic as SHM).
+	hier      *prim.HierFabric
+	hierRanks []int
+	inUse     bool
+}
+
+// executorFor builds the executor for spec's participant at ring
+// position pos over the wiring the spec's algorithm needs.
+func (c *communicator) executorFor(cluster *topo.Cluster, spec prim.Spec, pos int) *prim.Executor {
+	if spec.Algo == prim.AlgoHierarchical {
+		if c.hier == nil || !sameRankOrder(c.hierRanks, spec.Ranks) {
+			c.hier = prim.BuildHierFabric(cluster, spec.Ranks, c.tag+".hier")
+			c.hierRanks = append([]int(nil), spec.Ranks...)
+		}
+		return c.hier.ExecutorFor(cluster, spec, pos, nil, nil)
+	}
+	return c.ring.ExecutorFor(cluster, spec, pos, nil, nil)
+}
+
+// sameRankOrder reports whether two rank lists are identical including
+// order (ring position assignments depend on it).
+func sameRankOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 type commPool struct {
@@ -232,6 +272,7 @@ func (cp *commPool) acquire(ranks []int, tag string) *communicator {
 	cp.created++
 	c := &communicator{
 		ranks: append([]int(nil), ranks...),
+		tag:   tag,
 		ring:  prim.BuildRing(cp.cluster, prim.Spec{Kind: prim.AllReduce, Ranks: ranks, Type: mem.Float32}, tag),
 		inUse: true,
 	}

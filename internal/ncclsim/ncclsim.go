@@ -70,6 +70,10 @@ type Comm struct {
 	id    int
 	Ranks []int
 	ring  *prim.Ring
+	// hier is the hierarchical-algorithm fabric (intra-node mesh +
+	// leader ring), built on first use like NCCL's lazy transport setup
+	// for a secondary algorithm.
+	hier *prim.HierFabric
 	// Channels is the block count each collective kernel occupies.
 	Channels int
 	// calls counts collective invocations, for kernel naming.
@@ -109,7 +113,15 @@ func (c *Comm) Launch(p *sim.Process, stream *cudasim.Stream, rank int, spec pri
 		spec.Ranks = c.Ranks
 	}
 	pos := c.pos(rank)
-	x := c.ring.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
+	var x *prim.Executor
+	if spec.Algo == prim.AlgoHierarchical {
+		if c.hier == nil {
+			c.hier = prim.BuildHierFabric(c.lib.Cluster, c.Ranks, fmt.Sprintf("comm%d.hier", c.id))
+		}
+		x = c.hier.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
+	} else {
+		x = c.ring.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
+	}
 	c.calls++
 	dev := c.lib.Devs[rank]
 	k := &cudasim.Kernel{
@@ -117,13 +129,13 @@ func (c *Comm) Launch(p *sim.Process, stream *cudasim.Stream, rank int, spec pri
 		Grid: c.Channels,
 		Body: func(kc *cudasim.KernelCtx) {
 			kc.Sleep(KernelStartup)
-			prevRound := 0
+			prevStage, prevRound := 0, 0
 			for {
 				if x.StepOnce(kc.Process, -1) == prim.Done {
 					return
 				}
-				if x.Round > prevRound {
-					prevRound = x.Round
+				if x.Stage > prevStage || x.Round > prevRound {
+					prevStage, prevRound = x.Stage, x.Round
 					kc.Sleep(RoundResync)
 				}
 			}
@@ -170,4 +182,16 @@ func (c *Comm) AllToAll(p *sim.Process, stream *cudasim.Stream, rank, count int,
 // pass the same matrix.
 func (c *Comm) AllToAllv(p *sim.Process, stream *cudasim.Stream, rank int, counts [][]int, t mem.DataType, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
 	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllToAllv, Type: t, Ranks: c.Ranks, Counts: counts}, sendBuf, recvBuf)
+}
+
+// AllToAllAlgo is AllToAll with an explicit algorithm choice
+// (prim.AlgoRing or prim.AlgoHierarchical).
+func (c *Comm) AllToAllAlgo(p *sim.Process, stream *cudasim.Stream, rank, count int, t mem.DataType, algo prim.Algorithm, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllToAll, Count: count, Type: t, Ranks: c.Ranks, Algo: algo}, sendBuf, recvBuf)
+}
+
+// AllToAllvAlgo is AllToAllv with an explicit algorithm choice
+// (prim.AlgoRing or prim.AlgoHierarchical).
+func (c *Comm) AllToAllvAlgo(p *sim.Process, stream *cudasim.Stream, rank int, counts [][]int, t mem.DataType, algo prim.Algorithm, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
+	return c.Launch(p, stream, rank, prim.Spec{Kind: prim.AllToAllv, Type: t, Ranks: c.Ranks, Counts: counts, Algo: algo}, sendBuf, recvBuf)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dfccl/internal/mem"
+	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
 )
@@ -129,5 +130,69 @@ func TestRDMAPathSlowerThanSHM(t *testing.T) {
 	inter := lat(topo.MultiNode3090(2), []int{0, 1, 8, 9}) // crosses machines
 	if inter <= intra {
 		t.Fatalf("cross-machine all-reduce %v not slower than intra-node %v", inter, intra)
+	}
+}
+
+// TestCommHierarchicalAllToAllv drives the hierarchical algorithm
+// through the NCCL-style surface on a two-node cluster: the comm lazily
+// builds the hierarchical fabric and the dedicated kernels deliver the
+// exact ragged layout.
+func TestCommHierarchicalAllToAllv(t *testing.T) {
+	counts := [][]int{
+		{2, 9, 0, 4},
+		{5, 1, 7, 0},
+		{0, 3, 2, 8},
+		{6, 0, 1, 2},
+	}
+	const n = 4
+	e := sim.NewEngine()
+	c := topo.NewCluster(2, 2, topo.RTX3090, topo.DefaultLinks)
+	lib := New(e, c)
+	comm := lib.NewComm([]int{0, 1, 2, 3})
+	recvs := make([]*mem.Buffer, n)
+	rowSum := func(i int) int {
+		s := 0
+		for _, v := range counts[i] {
+			s += v
+		}
+		return s
+	}
+	colSum := func(j int) int {
+		s := 0
+		for _, row := range counts {
+			s += row[j]
+		}
+		return s
+	}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn("host", func(p *sim.Process) {
+			send := mem.NewBuffer(mem.DeviceSpace, mem.Float64, rowSum(rank))
+			recvs[rank] = mem.NewBuffer(mem.DeviceSpace, mem.Float64, colSum(rank))
+			off := 0
+			for dst := 0; dst < n; dst++ {
+				for i := 0; i < counts[rank][dst]; i++ {
+					send.SetFloat64(off, float64(100*rank+10*dst+i))
+					off++
+				}
+			}
+			k := comm.AllToAllvAlgo(p, lib.Device(rank).NewStream(), rank, counts, mem.Float64, prim.AlgoHierarchical, send, recvs[rank])
+			k.Wait(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < n; pos++ {
+		off := 0
+		for src := 0; src < n; src++ {
+			for i := 0; i < counts[src][pos]; i++ {
+				want := float64(100*src + 10*pos + i)
+				if got := recvs[pos].Float64At(off); got != want {
+					t.Fatalf("pos %d block from %d elem %d = %v, want %v", pos, src, i, got, want)
+				}
+				off++
+			}
+		}
 	}
 }

@@ -17,7 +17,12 @@ import (
 
 // Backend is the training-facing collective API. Collectives are
 // registered once per rank and launched repeatedly; Launch is
-// asynchronous and runs of one collective serialize.
+// asynchronous and runs of one collective serialize. The spec carries
+// the full collective identity, including the primitive-sequence
+// algorithm (prim.Spec.Algo): every backend routes AlgoHierarchical
+// all-to-alls through the topology-aware hierarchical executors, and
+// re-registering a live collective ID under a different algorithm is
+// refused like any other spec mismatch.
 type Backend interface {
 	Name() string
 	// Register declares a collective. All ranks in spec.Ranks must

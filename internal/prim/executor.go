@@ -39,10 +39,43 @@ func (r StepResult) String() string {
 	}
 }
 
+// TransportBytes is a per-transport split of wire traffic: how many
+// bytes an executor pushed over device-local, intra-node shared-memory,
+// and inter-node RDMA paths. The split is what makes the hierarchical
+// all-to-all's claim testable: strictly fewer RDMA bytes than the flat
+// ring on multi-node clusters.
+type TransportBytes struct {
+	// Local / SHM / RDMA are bytes sent over device-local, intra-node
+	// shared-memory, and inter-node RDMA paths respectively.
+	Local, SHM, RDMA int
+}
+
+// Total sums the per-transport counters.
+func (t TransportBytes) Total() int { return t.Local + t.SHM + t.RDMA }
+
+// Add accumulates another split into this one.
+func (t *TransportBytes) Add(o TransportBytes) {
+	t.Local += o.Local
+	t.SHM += o.SHM
+	t.RDMA += o.RDMA
+}
+
+func (t *TransportBytes) add(tr topo.Transport, n int) {
+	switch tr {
+	case topo.TransportSHM:
+		t.SHM += n
+	case topo.TransportRDMA:
+		t.RDMA += n
+	default:
+		t.Local += n
+	}
+}
+
 // Executor runs one rank's primitive sequence for one collective. Its
-// exported position fields (Round, Step, Phase) are the dynamic context
-// of Sec. 4.2: saving and restoring them across preemptions resumes the
-// collective exactly where it stopped, without under- or re-transmission.
+// exported position fields (Stage, Round, Step, Phase) are the dynamic
+// context of Sec. 4.2: saving and restoring them across preemptions
+// resumes the collective exactly where it stopped, without under- or
+// re-transmission.
 type Executor struct {
 	Spec Spec
 	Pos  int // position within Spec.Ranks
@@ -50,16 +83,21 @@ type Executor struct {
 
 	// SendBuf and RecvBuf are the user's local buffers (Fig. 5).
 	SendBuf, RecvBuf *mem.Buffer
-	// Prev receives chunks from ring predecessor; Next sends to the
-	// successor. These are the recv/send connectors of Fig. 5.
-	Prev, Next *mem.Connector
-	// NextPath prices transfers to the ring successor.
-	NextPath topo.Path
+	// Ins receive chunks and Outs send them; an action selects its
+	// endpoints with RecvConn/SendConn. Ring executors have exactly one
+	// of each — Ins[0] from the ring predecessor, Outs[0] to the
+	// successor, the recv/send connectors of Fig. 5. Hierarchical
+	// executors add the intra-node mesh and leader-ring endpoints.
+	Ins, Outs []*mem.Connector
+	// OutPaths price transfers per send endpoint (OutPaths[i] matches
+	// Outs[i]).
+	OutPaths []topo.Path
 	// ComputeBW prices local reduce/copy work in bytes/second.
 	ComputeBW float64
 
-	// Dynamic context.
-	Round, Step int
+	// Dynamic context. Stage indexes the sequence's stages (always 0
+	// mid-run for flat ring sequences); Round and Step walk one stage.
+	Stage, Round, Step int
 	// Phase is the intra-action position: 0 = nothing done yet,
 	// 1 = send half complete, awaiting recv half.
 	Phase       int
@@ -71,24 +109,35 @@ type Executor struct {
 	PrimsExecuted int
 	SpinAborts    int
 	// BytesSent counts the wire bytes this executor wrote to its send
-	// connector across all runs — observed ring traffic, including
+	// connectors across all runs — observed ring traffic, including
 	// store-and-forward forwarding hops, accumulated in TimingOnly mode
 	// too (the chunks are merely empty). It is what padding actually
 	// costs: a padded all-to-all pays for its zero tails on every hop.
 	BytesSent int
+	// BytesSentBy splits BytesSent by the transport of the path each
+	// chunk was sent over (SHM vs RDMA vs device-local).
+	BytesSentBy TransportBytes
 }
 
-// NewExecutor builds an executor for the participant at position pos.
+// NewExecutor builds an executor for the participant at position pos,
+// wired to a single ring predecessor/successor connector pair.
 func NewExecutor(spec Spec, pos int, sendBuf, recvBuf *mem.Buffer, prev, next *mem.Connector, nextPath topo.Path, computeBW float64) *Executor {
+	return newExecutorSeq(spec, pos, spec.SequenceFor(pos), sendBuf, recvBuf,
+		[]*mem.Connector{prev}, []*mem.Connector{next}, []topo.Path{nextPath}, computeBW)
+}
+
+// newExecutorSeq builds an executor over an explicit sequence and
+// endpoint set (the hierarchical fabric's constructor).
+func newExecutorSeq(spec Spec, pos int, seq *Sequence, sendBuf, recvBuf *mem.Buffer, ins, outs []*mem.Connector, outPaths []topo.Path, computeBW float64) *Executor {
 	x := &Executor{
 		Spec:      spec,
 		Pos:       pos,
-		Seq:       spec.SequenceFor(pos),
+		Seq:       seq,
 		SendBuf:   sendBuf,
 		RecvBuf:   recvBuf,
-		Prev:      prev,
-		Next:      next,
-		NextPath:  nextPath,
+		Ins:       ins,
+		Outs:      outs,
+		OutPaths:  outPaths,
 		ComputeBW: computeBW,
 	}
 	if x.Seq.useScratch && !spec.TimingOnly {
@@ -110,13 +159,13 @@ func (x *Executor) work() *mem.Buffer {
 // the "static context can change across multiple calls" case.
 func (x *Executor) Reset(sendBuf, recvBuf *mem.Buffer) {
 	x.SendBuf, x.RecvBuf = sendBuf, recvBuf
-	x.Round, x.Step, x.Phase = 0, 0, 0
+	x.Stage, x.Round, x.Step, x.Phase = 0, 0, 0, 0
 	x.Initialized = false
 }
 
-// Finished reports completion of all rounds.
+// Finished reports completion of all stages and rounds.
 func (x *Executor) Finished() bool {
-	return x.Initialized && x.Round >= x.Seq.Rounds
+	return x.Initialized && x.Stage >= x.Seq.NumStages()
 }
 
 func (x *Executor) computeCost(bytes int) sim.Duration {
@@ -241,9 +290,10 @@ func waitCond(p *sim.Process, ready func() bool, cond *sim.Cond, budget sim.Dura
 func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult {
 	if !x.Initialized {
 		x.initialize(p)
-		if len(x.Seq.Actions) == 0 {
+		if x.Seq.totalActions() == 0 {
 			// Single-rank collective: init (plus copy-out) is all.
-			x.Round = x.Seq.Rounds
+			x.Stage = x.Seq.NumStages()
+			x.Round = x.Seq.TotalRounds()
 			x.copyOut(p)
 			return Done
 		}
@@ -251,31 +301,38 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 	if x.Finished() {
 		return Done
 	}
-	a := x.Seq.Actions[x.Step]
-	pipelined := a.HasSend() && a.HasRecv() && a.SendSeg == a.RecvSeg
+	stage := x.Seq.stageAt(x.Stage)
+	a := stage.Actions[x.Step]
+	pipelined := !a.LocalCopy && a.HasSend() && a.HasRecv() && a.SendSeg == a.RecvSeg
 
-	if pipelined {
+	switch {
+	case a.LocalCopy:
+		// Connector-free working-buffer copy; cannot block or stick.
+		x.localCopy(p, a)
+	case pipelined:
 		// recv → process → send: forwarding actions (broadcast chain,
 		// all-gather middle, reduce chain) depend on the incoming chunk.
+		in, out := x.Ins[a.RecvConn], x.Outs[a.SendConn]
 		if x.Phase == 0 {
-			if !waitCond(p, x.Prev.CanRead, x.Prev.Readable(), spinBudget) {
+			if !waitCond(p, in.CanRead, in.Readable(), spinBudget) {
 				x.SpinAborts++
 				return Stuck
 			}
 			x.recvHalf(p, a)
 			x.Phase = 1
 		}
-		if !waitCond(p, x.Next.CanWrite, x.Next.Writable(), spinBudget) {
+		if !waitCond(p, out.CanWrite, out.Writable(), spinBudget) {
 			x.SpinAborts++
 			return Stuck
 		}
 		x.sendHalf(p, a)
-	} else {
+	default:
 		// send ∥ recv on distinct segments: send first so rings prime
 		// themselves (classic ring step posts its send before blocking
 		// on its receive).
 		if a.HasSend() && x.Phase == 0 {
-			if !waitCond(p, x.Next.CanWrite, x.Next.Writable(), spinBudget) {
+			out := x.Outs[a.SendConn]
+			if !waitCond(p, out.CanWrite, out.Writable(), spinBudget) {
 				x.SpinAborts++
 				return Stuck
 			}
@@ -283,7 +340,8 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 			x.Phase = 1
 		}
 		if a.HasRecv() {
-			if !waitCond(p, x.Prev.CanRead, x.Prev.Readable(), spinBudget) {
+			in := x.Ins[a.RecvConn]
+			if !waitCond(p, in.CanRead, in.Readable(), spinBudget) {
 				x.SpinAborts++
 				return Stuck
 			}
@@ -294,15 +352,32 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 	x.PrimsExecuted++
 	x.Phase = 0
 	x.Step++
-	if x.Step >= len(x.Seq.Actions) {
+	if x.Step >= len(stage.Actions) {
 		x.Step = 0
 		x.Round++
-		if x.Round >= x.Seq.Rounds {
-			x.copyOut(p)
-			return Done
+		if x.Round >= stage.Rounds {
+			x.Round = 0
+			x.Stage++
+			if x.Stage >= x.Seq.NumStages() {
+				x.copyOut(p)
+				return Done
+			}
 		}
 	}
 	return Progressed
+}
+
+// localCopy moves an action's block between working-buffer segments
+// (whole block, independent of chunk rounds), charging compute time.
+func (x *Executor) localCopy(p *sim.Process, a Action) {
+	bytes := a.SendElems * x.Spec.Type.Size()
+	p.Sleep(x.computeCost(bytes))
+	if x.Spec.TimingOnly || bytes == 0 {
+		return
+	}
+	src := x.Seq.segs[a.SendSeg]
+	dst := x.Seq.segs[a.RecvSeg]
+	copy(x.work().Slice(dst.Lo, dst.Lo+a.SendElems), x.work().Slice(src.Lo, src.Lo+a.SendElems))
 }
 
 // sendHalf transmits the current round's slice of the action's send
@@ -311,19 +386,22 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 func (x *Executor) sendHalf(p *sim.Process, a Action) {
 	sr := x.Seq.sendSlice(a, x.Round)
 	bytes := sr.len() * x.Spec.Type.Size()
+	path := x.OutPaths[a.SendConn]
+	out := x.Outs[a.SendConn]
 	x.BytesSent += bytes
-	p.Sleep(sim.Duration(x.NextPath.TransferTime(bytes)))
+	x.BytesSentBy.add(path.Transport, bytes)
+	p.Sleep(sim.Duration(path.TransferTime(bytes)))
 	if x.Spec.TimingOnly {
-		x.Next.Write(p.Engine(), nil)
+		out.Write(p.Engine(), nil)
 		return
 	}
-	x.Next.Write(p.Engine(), x.work().Slice(sr.Lo, sr.Hi))
+	out.Write(p.Engine(), x.work().Slice(sr.Lo, sr.Hi))
 }
 
 // recvHalf consumes a chunk and reduces or copies it into the action's
 // recv segment, charging compute time.
 func (x *Executor) recvHalf(p *sim.Process, a Action) {
-	chunk := x.Prev.Read(p.Engine())
+	chunk := x.Ins[a.RecvConn].Read(p.Engine())
 	sr := x.Seq.recvSlice(a, x.Round)
 	if x.Spec.TimingOnly {
 		p.Sleep(x.computeCost(sr.len() * x.Spec.Type.Size()))
@@ -331,8 +409,8 @@ func (x *Executor) recvHalf(p *sim.Process, a Action) {
 	}
 	dst := x.work().Slice(sr.Lo, sr.Hi)
 	if len(dst) != len(chunk) {
-		panic(fmt.Sprintf("prim: %v rank-pos %d round %d step %d: chunk %dB vs segment slice %dB",
-			x.Spec.Kind, x.Pos, x.Round, x.Step, len(chunk), len(dst)))
+		panic(fmt.Sprintf("prim: %v rank-pos %d stage %d round %d step %d: chunk %dB vs segment slice %dB",
+			x.Spec.Kind, x.Pos, x.Stage, x.Round, x.Step, len(chunk), len(dst)))
 	}
 	p.Sleep(x.computeCost(len(chunk)))
 	if a.Reduce {

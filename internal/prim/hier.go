@@ -1,0 +1,497 @@
+package prim
+
+// Hierarchical (topology-aware) all-to-all: the flat ring treats every
+// hop as equal, but the cluster is two-tiered — SHM inside a node,
+// 56 Gb/s RDMA between nodes. AlgoHierarchical splits the exchange
+// accordingly:
+//
+//  1. intra:      same-node blocks move directly between the two GPUs
+//                 over per-pair SHM connectors (one hop each), as a
+//                 lockstep offset schedule within the node group;
+//  2. pack/gather: every rank's cross-node blocks are gathered to its
+//                 node leader (the leader packs its own with local
+//                 copies), laid out as one contiguous aggregate per
+//                 destination node;
+//  3. inter-ring: the node leaders run the ragged-segment ring of
+//                 allToAllvSeq over the aggregates — the only phase
+//                 that touches RDMA, and an aggregate (a→b) crosses
+//                 mod(b-a, M) leader hops instead of every block
+//                 circumnavigating the full flat ring;
+//  4. scatter:    the receiving leader forwards each block to its
+//                 final same-node destination over SHM.
+//
+// Every phase keeps the ragged ring's invariants: all participants of
+// a convoy run the same (action, round) schedule with per-action
+// element bounds, so zero-count peers still exchange empty chunks and
+// flow control stays uniform; the executor's (stage, round, step,
+// phase) dynamic context makes any point preemptible and resumable.
+//
+// Degenerate cases are explicit: a single-node cluster yields only the
+// intra stages (no leader ring — the direct exchange *is* the
+// algorithm), and a single rank yields the same no-op copy sequence as
+// the flat ring.
+
+import (
+	"fmt"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/topo"
+)
+
+// NodeGrouping maps a collective's ring positions onto cluster nodes:
+// the node-local view the hierarchical algorithm schedules by.
+type NodeGrouping struct {
+	// NodeOf[pos] is the node index of ring position pos. Nodes are
+	// numbered by first appearance in ring order, so the leader ring
+	// follows the positions' ring order.
+	NodeOf []int
+	// Members[node] lists the ring positions on that node, in ring
+	// order; Members[node][0] is the node's leader.
+	Members [][]int
+	// local[pos] is pos's index within Members[NodeOf[pos]].
+	local []int
+}
+
+// GroupByNode derives the node grouping of a rank set on a cluster:
+// positions whose global ranks share a machine share a node group.
+func GroupByNode(c *topo.Cluster, ranks []int) NodeGrouping {
+	g := NodeGrouping{NodeOf: make([]int, len(ranks)), local: make([]int, len(ranks))}
+	byMachine := make(map[int]int)
+	for pos, r := range ranks {
+		m := c.GPUs[r].Machine
+		node, ok := byMachine[m]
+		if !ok {
+			node = len(g.Members)
+			byMachine[m] = node
+			g.Members = append(g.Members, nil)
+		}
+		g.NodeOf[pos] = node
+		g.local[pos] = len(g.Members[node])
+		g.Members[node] = append(g.Members[node], pos)
+	}
+	return g
+}
+
+// Nodes returns the node count.
+func (g NodeGrouping) Nodes() int { return len(g.Members) }
+
+// Leader returns the leader position of a node (its first member in
+// ring order).
+func (g NodeGrouping) Leader(node int) int { return g.Members[node][0] }
+
+// IsLeader reports whether pos is its node's leader.
+func (g NodeGrouping) IsLeader(pos int) bool { return g.local[pos] == 0 }
+
+// peerIdx is the endpoint index position pos uses to reach same-node
+// peer, for both the send (Outs) and recv (Ins) sides: the peers in
+// group order, skipping pos itself. A leader's leader-ring endpoints,
+// when present, follow at index ringIdx.
+func (g NodeGrouping) peerIdx(pos, peer int) int {
+	i := g.local[peer]
+	if i > g.local[pos] {
+		i--
+	}
+	return i
+}
+
+// ringIdx is the leader-ring endpoint index of a leader position (the
+// slot after its m-1 same-node peers).
+func (g NodeGrouping) ringIdx(pos int) int {
+	return len(g.Members[g.NodeOf[pos]]) - 1
+}
+
+// crossNodes returns the other nodes in the canonical convoy order all
+// participants of node a agree on: a+1, a+2, ... wrapping around.
+func (g NodeGrouping) crossNodes(a int) []int {
+	M := g.Nodes()
+	out := make([]int, 0, M-1)
+	for d := 1; d < M; d++ {
+		out = append(out, (a+d)%M)
+	}
+	return out
+}
+
+// uniformCounts materializes the AllToAll count matrix (every block the
+// same size) so the hierarchical builder handles both variants through
+// one ragged path.
+func uniformCounts(n, count int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			m[i][j] = count
+		}
+	}
+	return m
+}
+
+// HierSequenceFor builds the hierarchical all-to-all(-v) sequence for
+// the participant at ring position pos, given the node grouping. Spec
+// validation must have passed and s.Algo must be AlgoHierarchical;
+// executors over these sequences need the matching HierFabric wiring.
+func (s Spec) HierSequenceFor(pos int, g NodeGrouping) *Sequence {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if s.Algo != AlgoHierarchical {
+		panic(fmt.Sprintf("prim: HierSequenceFor on a %v spec", s.Algo))
+	}
+	n := s.N()
+	cnt := s.Counts
+	if s.Kind == AllToAll {
+		cnt = uniformCounts(n, s.Count)
+	}
+	if n == 1 {
+		return noopCopySeq(cnt[0][0], s.chunk())
+	}
+	a := g.NodeOf[pos]
+	group := g.Members[a]
+	m := len(group)
+	k := g.local[pos]
+	M := g.Nodes()
+	leader := group[0]
+	isLeader := k == 0
+	chunk := s.chunk()
+
+	// --- working-buffer layout ---
+	var segs []segRange
+	cur := 0
+	addSeg := func(l int) int {
+		segs = append(segs, segRange{Lo: cur, Hi: cur + l})
+		cur += l
+		return len(segs) - 1
+	}
+	// addSub registers a nested sub-range of an already-allocated
+	// region without advancing the allocation cursor.
+	addSub := func(lo, l int) int {
+		segs = append(segs, segRange{Lo: lo, Hi: lo + l})
+		return len(segs) - 1
+	}
+
+	// Own send blocks, in send-buffer layout (the init-copy prefix).
+	own := make([]int, n)
+	for j := 0; j < n; j++ {
+		own[j] = addSeg(cnt[pos][j])
+	}
+	// Final blocks by origin, recv-buffer layout. Leaders read their
+	// cross-node blocks straight from the inbound aggregates instead,
+	// so their cross-node FIN slots are unused scratch.
+	fin := make([]int, n)
+	for o := 0; o < n; o++ {
+		fin[o] = addSeg(cnt[o][pos])
+	}
+
+	// Leader-only staging: one contiguous aggregate per peer node, in
+	// (member, destination) order on the way out and (origin member,
+	// local member) order on the way in, with nested per-block
+	// sub-segments so convoys can address individual blocks.
+	var agg [][]int                     // agg[x][y]: cross-node aggregate sizes
+	var gout, gin []int                 // parent segment per peer node (by node index)
+	var goutSub, ginSub map[int][][]int // [node][member idx][peer idx] -> seg
+	if isLeader && M > 1 {
+		agg = make([][]int, M)
+		for x := range agg {
+			agg[x] = make([]int, M)
+			for y := range agg[x] {
+				if x == y {
+					continue
+				}
+				for _, i := range g.Members[x] {
+					for _, j := range g.Members[y] {
+						agg[x][y] += cnt[i][j]
+					}
+				}
+			}
+		}
+		gout = make([]int, M)
+		gin = make([]int, M)
+		goutSub = make(map[int][][]int, M-1)
+		ginSub = make(map[int][][]int, M-1)
+		for _, b := range g.crossNodes(a) {
+			lo := cur
+			gout[b] = addSeg(agg[a][b])
+			subs := make([][]int, m)
+			off := lo
+			for ii, i := range group {
+				subs[ii] = make([]int, len(g.Members[b]))
+				for jj, j := range g.Members[b] {
+					subs[ii][jj] = addSub(off, cnt[i][j])
+					off += cnt[i][j]
+				}
+			}
+			goutSub[b] = subs
+		}
+		for _, x := range g.crossNodes(a) {
+			lo := cur
+			gin[x] = addSeg(agg[x][a])
+			subs := make([][]int, len(g.Members[x]))
+			off := lo
+			for ii, i := range g.Members[x] {
+				subs[ii] = make([]int, m)
+				for jj, j := range group {
+					subs[ii][jj] = addSub(off, cnt[i][j])
+					off += cnt[i][j]
+				}
+			}
+			ginSub[x] = subs
+		}
+	}
+
+	// --- stages ---
+	var stages []Stage
+
+	// Intra-node direct exchange: one lockstep stage per ring offset
+	// within the group; rounds padded to the offset's largest block so
+	// every member stays step-matched (zero-count peers send empty
+	// chunks, as in the flat ragged ring).
+	for d := 1; d < m; d++ {
+		sp := group[(k+d)%m]
+		rp := group[(k-d+m)%m]
+		maxPair := 0
+		for kk := 0; kk < m; kk++ {
+			if c := cnt[group[kk]][group[(kk+d)%m]]; c > maxPair {
+				maxPair = c
+			}
+		}
+		stages = append(stages, Stage{
+			Label:  "intra",
+			Rounds: ceilDiv(maxPair, chunk),
+			Actions: []Action{{
+				SendSeg: own[sp], SendElems: cnt[pos][sp], SendConn: g.peerIdx(pos, sp),
+				RecvSeg: fin[rp], RecvElems: cnt[rp][pos], RecvConn: g.peerIdx(pos, rp),
+			}},
+		})
+	}
+
+	if M > 1 {
+		// Leader packs its own cross-node blocks into the outbound
+		// aggregates (local copies — no connector involved).
+		if isLeader {
+			var acts []Action
+			for _, b := range g.crossNodes(a) {
+				for jj, j := range g.Members[b] {
+					if cnt[pos][j] == 0 {
+						continue
+					}
+					acts = append(acts, Action{
+						LocalCopy: true,
+						SendSeg:   own[j], SendElems: cnt[pos][j],
+						RecvSeg: goutSub[b][0][jj],
+					})
+				}
+			}
+			if len(acts) > 0 {
+				stages = append(stages, Stage{Label: "pack", Rounds: 1, Actions: acts})
+			}
+		}
+		// Gather-to-leader: one convoy stage per non-leader member, in
+		// the canonical cross-node block order. Sender and leader build
+		// mirrored action lists from the same matrix row, so per-
+		// connector traffic matches action for action, chunk for chunk.
+		for sIdx := 1; sIdx < m; sIdx++ {
+			sender := group[sIdx]
+			if pos != sender && !isLeader {
+				continue
+			}
+			maxBlk := 0
+			var acts []Action
+			for _, b := range g.crossNodes(a) {
+				for jj, j := range g.Members[b] {
+					c := cnt[sender][j]
+					if c > maxBlk {
+						maxBlk = c
+					}
+					if pos == sender {
+						acts = append(acts, Action{
+							SendSeg: own[j], SendElems: c, SendConn: g.peerIdx(pos, leader),
+							RecvSeg: -1,
+						})
+					} else {
+						acts = append(acts, Action{
+							SendSeg: -1,
+							RecvSeg: goutSub[b][sIdx][jj], RecvElems: c, RecvConn: g.peerIdx(pos, sender),
+						})
+					}
+				}
+			}
+			stages = append(stages, Stage{Label: "gather", Rounds: ceilDiv(maxBlk, chunk), Actions: acts})
+		}
+		// Inter-leader ring: the allToAllvSeq store-and-forward schedule
+		// over the M×M aggregate matrix — distances st = 1..M-1, hop h
+		// of an aggregate forwarded at step (st, h), every leader
+		// sending and receiving one aggregate chunk per step.
+		if isLeader {
+			maxTransit, maxMoved := 0, 0
+			for st := 1; st < M; st++ {
+				for h := 1; h < st; h++ {
+					o := mod(a-h, M)
+					if l := agg[o][mod(o+st, M)]; l > maxTransit {
+						maxTransit = l
+					}
+				}
+			}
+			for x := 0; x < M; x++ {
+				for y := 0; y < M; y++ {
+					if x != y && agg[x][y] > maxMoved {
+						maxMoved = agg[x][y]
+					}
+				}
+			}
+			tr := [2]int{addSeg(maxTransit), addSeg(maxTransit)}
+			ring := g.ringIdx(pos)
+			var acts []Action
+			transit, lastTransit := 0, 0
+			for st := 1; st < M; st++ {
+				for h := 1; h <= st; h++ {
+					var act Action
+					so := mod(a-(h-1), M)
+					act.SendElems = agg[so][mod(so+st, M)]
+					act.SendConn = ring
+					if h == 1 {
+						act.SendSeg = gout[mod(a+st, M)]
+					} else {
+						act.SendSeg = tr[lastTransit]
+					}
+					ro := mod(a-h, M)
+					act.RecvElems = agg[ro][mod(ro+st, M)]
+					act.RecvConn = ring
+					if h == st {
+						act.RecvSeg = gin[ro]
+					} else {
+						act.RecvSeg = tr[transit]
+						lastTransit = transit
+						transit = 1 - transit
+					}
+					acts = append(acts, act)
+				}
+			}
+			stages = append(stages, Stage{Label: "inter-ring", Rounds: ceilDiv(maxMoved, chunk), Actions: acts})
+		}
+		// Scatter-from-leader: one convoy per non-leader member; the
+		// leader sends each inbound cross-node block to its final
+		// destination, which writes it into its FIN layout.
+		for tIdx := 1; tIdx < m; tIdx++ {
+			dst := group[tIdx]
+			if pos != dst && !isLeader {
+				continue
+			}
+			maxBlk := 0
+			var acts []Action
+			for _, x := range g.crossNodes(a) {
+				for iIdx, i := range g.Members[x] {
+					c := cnt[i][dst]
+					if c > maxBlk {
+						maxBlk = c
+					}
+					if isLeader {
+						acts = append(acts, Action{
+							SendSeg: ginSub[x][iIdx][tIdx], SendElems: c, SendConn: g.peerIdx(pos, dst),
+							RecvSeg: -1,
+						})
+					} else {
+						acts = append(acts, Action{
+							SendSeg: -1,
+							RecvSeg: fin[i], RecvElems: c, RecvConn: g.peerIdx(pos, leader),
+						})
+					}
+				}
+			}
+			stages = append(stages, Stage{Label: "scatter", Rounds: ceilDiv(maxBlk, chunk), Actions: acts})
+		}
+	}
+
+	// Copy-out: origin blocks 0..n-1 in order. The self block comes
+	// from the own area, same-node blocks from FIN (intra stage), and
+	// cross-node blocks from FIN (non-leaders, scatter stage) or the
+	// inbound aggregates (leaders).
+	copyOutSegs := make([]int, n)
+	for o := 0; o < n; o++ {
+		switch {
+		case o == pos:
+			copyOutSegs[o] = own[pos]
+		case isLeader && g.NodeOf[o] != a:
+			copyOutSegs[o] = ginSub[g.NodeOf[o]][g.local[o]][0]
+		default:
+			copyOutSegs[o] = fin[o]
+		}
+	}
+
+	return &Sequence{
+		segs:           segs,
+		chunkElems:     chunk,
+		workLen:        cur,
+		initCopyOwnSeg: initCopyPrefix,
+		useScratch:     true,
+		copyOutSeg:     -1,
+		copyOutSegs:    copyOutSegs,
+		ragged:         true,
+		Stages:         stages,
+	}
+}
+
+// HierFabric wires one collective for AlgoHierarchical: a full mesh of
+// SHM connectors between same-node members (so intra-node blocks and
+// leader convoys are direct, single-hop transfers) plus one ring over
+// the node leaders (the only RDMA wiring). Like Ring, the fabric
+// depends only on the rank set and cluster, so communicator pools can
+// reuse it across collectives over the same ranks.
+type HierFabric struct {
+	// Grouping is the node grouping the fabric was wired for.
+	Grouping NodeGrouping
+	outs     [][]*mem.Connector
+	ins      [][]*mem.Connector
+	outPaths [][]topo.Path
+}
+
+// BuildHierFabric creates the hierarchical connector fabric for a rank
+// set on a cluster.
+func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
+	g := GroupByNode(c, ranks)
+	n := len(ranks)
+	f := &HierFabric{
+		Grouping: g,
+		outs:     make([][]*mem.Connector, n),
+		ins:      make([][]*mem.Connector, n),
+		outPaths: make([][]topo.Path, n),
+	}
+	for pos := range ranks {
+		sz := len(g.Members[g.NodeOf[pos]]) - 1
+		if g.IsLeader(pos) && g.Nodes() > 1 {
+			sz++ // leader-ring endpoint at ringIdx
+		}
+		f.outs[pos] = make([]*mem.Connector, sz)
+		f.ins[pos] = make([]*mem.Connector, sz)
+		f.outPaths[pos] = make([]topo.Path, sz)
+	}
+	for _, members := range g.Members {
+		for _, x := range members {
+			for _, y := range members {
+				if x == y {
+					continue
+				}
+				conn := mem.NewConnector(fmt.Sprintf("%s.mesh%d->%d", tag, ranks[x], ranks[y]), ConnectorSlots)
+				f.outs[x][g.peerIdx(x, y)] = conn
+				f.ins[y][g.peerIdx(y, x)] = conn
+				f.outPaths[x][g.peerIdx(x, y)] = c.PathBetween(ranks[x], ranks[y])
+			}
+		}
+	}
+	if M := g.Nodes(); M > 1 {
+		for a := 0; a < M; a++ {
+			la, lb := g.Leader(a), g.Leader((a+1)%M)
+			conn := mem.NewConnector(fmt.Sprintf("%s.lring%d->%d", tag, ranks[la], ranks[lb]), ConnectorSlots)
+			f.outs[la][g.ringIdx(la)] = conn
+			f.ins[lb][g.ringIdx(lb)] = conn
+			f.outPaths[la][g.ringIdx(la)] = c.PathBetween(ranks[la], ranks[lb])
+		}
+	}
+	return f
+}
+
+// ExecutorFor builds the hierarchical executor for ring position pos
+// using the fabric's wiring and the cluster's GPU compute bandwidth.
+func (f *HierFabric) ExecutorFor(c *topo.Cluster, spec Spec, pos int, sendBuf, recvBuf *mem.Buffer) *Executor {
+	seq := spec.HierSequenceFor(pos, f.Grouping)
+	bw := c.GPUs[spec.Ranks[pos]].Model.CopyBandwidth
+	return newExecutorSeq(spec, pos, seq, sendBuf, recvBuf, f.ins[pos], f.outs[pos], f.outPaths[pos], bw)
+}

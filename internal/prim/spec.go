@@ -48,6 +48,40 @@ const (
 	AllToAllv
 )
 
+// Algorithm selects the primitive-sequence algorithm a collective's
+// executors run. The zero value (AlgoRing) is the flat ring the paper
+// evaluates for every collective; AlgoHierarchical is the topology-
+// aware two-tier schedule available for the all-to-all variants.
+type Algorithm int
+
+const (
+	// AlgoRing is the flat ring: every block travels position-to-
+	// position around the one ring, store-and-forward for the
+	// all-to-all variants — topology-blind, so on multi-node clusters
+	// cross-node hops and even intra-node wrap-around blocks pay RDMA.
+	AlgoRing Algorithm = iota
+	// AlgoHierarchical is the two-tier all-to-all: same-node blocks
+	// move directly over SHM-speed intra-node connectors, cross-node
+	// blocks are gathered to a per-node leader, carried between
+	// leaders by a ring of aggregated (ragged) blocks over RDMA, and
+	// scattered from the receiving leader — strictly fewer inter-node
+	// bytes than the flat ring whenever a node holds more than one
+	// rank. Only the all-to-all variants support it.
+	AlgoHierarchical
+)
+
+// String names the algorithm ("ring", "hierarchical").
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoRing:
+		return "ring"
+	case AlgoHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
 // String returns the NCCL-style lowercase name of the collective.
 func (k Kind) String() string {
 	switch k {
@@ -120,6 +154,13 @@ type Spec struct {
 	// Training-scale simulations use it to avoid copying gigabytes of
 	// gradient data per simulated iteration.
 	TimingOnly bool
+	// Algo selects the primitive-sequence algorithm. The zero value is
+	// the flat ring; AlgoHierarchical (all-to-all variants only) tiers
+	// the exchange by node topology. Two registrations of the same
+	// collective ID must agree on it — sameSpec and Fingerprint treat
+	// the algorithm as part of the collective's identity, because ring
+	// and hierarchical executors use incompatible wiring.
+	Algo Algorithm
 }
 
 // Timing returns a copy of the spec with TimingOnly set: the
@@ -135,8 +176,8 @@ func (s Spec) Timing() Spec {
 // compares). Specs with equal fingerprints are interchangeable for
 // collective-ID assignment and communicator pooling.
 func (s Spec) Fingerprint() string {
-	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%t|%v|%v",
-		int(s.Kind), s.Count, int(s.Type), int(s.Op), s.Root, s.ChunkElems, s.TimingOnly, s.Ranks, s.Counts)
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%t|%v|%v",
+		int(s.Kind), int(s.Algo), s.Count, int(s.Type), int(s.Op), s.Root, s.ChunkElems, s.TimingOnly, s.Ranks, s.Counts)
 }
 
 func (s Spec) chunk() int {
@@ -173,6 +214,15 @@ func (s Spec) Bytes() int {
 func (s Spec) Validate() error {
 	if len(s.Ranks) == 0 {
 		return fmt.Errorf("prim: spec has no ranks")
+	}
+	switch s.Algo {
+	case AlgoRing:
+	case AlgoHierarchical:
+		if s.Kind != AllToAll && s.Kind != AllToAllv {
+			return fmt.Errorf("prim: algorithm %v only applies to the all-to-all variants (kind %v)", s.Algo, s.Kind)
+		}
+	default:
+		return fmt.Errorf("prim: unknown algorithm %v", s.Algo)
 	}
 	if s.Count < 0 {
 		return fmt.Errorf("prim: negative count %d", s.Count)
@@ -260,6 +310,19 @@ type Action struct {
 	// its flow-control token per step. Even sequences ignore them and
 	// move whole segments.
 	SendElems, RecvElems int
+	// SendConn / RecvConn select which of the executor's send (recv)
+	// endpoints the action's halves use. Ring sequences have exactly one
+	// endpoint each (the ring successor / predecessor), so flat actions
+	// leave them 0; hierarchical sequences index the intra-node mesh and
+	// leader-ring endpoints.
+	SendConn, RecvConn int
+	// LocalCopy marks a connector-free action: copy SendElems elements
+	// from the start of segment SendSeg to the start of segment RecvSeg
+	// within the working buffer (the hierarchical leader packing its own
+	// cross-node blocks into the aggregate staging area). LocalCopy
+	// actions charge compute time, never touch a connector, and can
+	// therefore never be Stuck.
+	LocalCopy bool
 }
 
 // HasSend reports whether the action writes to the send connector.
@@ -272,6 +335,8 @@ func (a Action) HasRecv() bool { return a.RecvSeg >= 0 }
 // (send / recvCopy / recvReduce and their fused forms).
 func (a Action) String() string {
 	switch {
+	case a.LocalCopy:
+		return fmt.Sprintf("localCopy(seg %d->%d)", a.SendSeg, a.RecvSeg)
 	case a.HasRecv() && a.HasSend() && a.Reduce:
 		return fmt.Sprintf("recvReduceSend(seg %d->%d)", a.RecvSeg, a.SendSeg)
 	case a.HasRecv() && a.HasSend():
@@ -306,6 +371,22 @@ const (
 	initCopyPrefix = -3
 )
 
+// Stage is one phase of a multi-stage sequence: its action list runs
+// Rounds times (one chunk round per pass) before the next stage
+// starts. Flat ring sequences are single-stage and keep their actions
+// directly on the Sequence; the hierarchical all-to-all builds one
+// stage per intra-node exchange offset, gather convoy, leader-ring
+// schedule, and scatter convoy.
+type Stage struct {
+	// Label names the phase for diagnostics and preemption tests
+	// ("intra", "pack", "gather", "inter-ring", "scatter").
+	Label string
+	// Actions is the stage's per-round action list.
+	Actions []Action
+	// Rounds is how many times the action list runs (one chunk each).
+	Rounds int
+}
+
 // Sequence is the per-rank execution plan for one collective: the
 // primitive actions of one chunk round, the working-buffer segment
 // layout, and the number of chunk rounds needed to cover the data.
@@ -314,6 +395,11 @@ type Sequence struct {
 	segs    []segRange
 	// Rounds is how many times the action list runs (once per chunk).
 	Rounds int
+	// Stages, when non-nil, replaces the flat Actions/Rounds pair with
+	// an ordered list of phases, each with its own action list and
+	// round count — the hierarchical all-to-all representation. The
+	// executor's dynamic context then includes the stage index.
+	Stages []Stage
 	// chunkElems is the per-round slice width within each segment.
 	chunkElems int
 	// workLen is the element length of the working buffer.
@@ -338,9 +424,64 @@ type Sequence struct {
 	ragged bool
 }
 
-// NumPrimitives returns the total primitive count across all rounds,
-// the quantity the paper's preemption analysis counts.
-func (s *Sequence) NumPrimitives() int { return len(s.Actions) * s.Rounds }
+// NumPrimitives returns the total primitive count across all rounds
+// (and, for multi-stage sequences, all stages) — the quantity the
+// paper's preemption analysis counts.
+func (s *Sequence) NumPrimitives() int {
+	if s.Stages == nil {
+		return len(s.Actions) * s.Rounds
+	}
+	total := 0
+	for _, st := range s.Stages {
+		total += len(st.Actions) * st.Rounds
+	}
+	return total
+}
+
+// NumStages returns the stage count: 1 for flat ring sequences, the
+// phase count for hierarchical ones.
+func (s *Sequence) NumStages() int {
+	if s.Stages == nil {
+		return 1
+	}
+	return len(s.Stages)
+}
+
+// TotalRounds returns the summed round count across stages (equal to
+// Rounds for flat sequences) — the number of chunk-round passes the
+// executor makes end to end.
+func (s *Sequence) TotalRounds() int {
+	if s.Stages == nil {
+		return s.Rounds
+	}
+	total := 0
+	for _, st := range s.Stages {
+		total += st.Rounds
+	}
+	return total
+}
+
+// stageAt returns stage i, wrapping the flat Actions/Rounds pair as the
+// implicit single stage of ring sequences.
+func (s *Sequence) stageAt(i int) Stage {
+	if s.Stages == nil {
+		return Stage{Actions: s.Actions, Rounds: s.Rounds}
+	}
+	return s.Stages[i]
+}
+
+// totalActions counts actions across stages (0 means the sequence is a
+// pure init-copy/copy-out, e.g. the single-rank no-op).
+func (s *Sequence) totalActions() int {
+	if s.Stages == nil {
+		return len(s.Actions)
+	}
+	total := 0
+	for _, st := range s.Stages {
+		total += len(st.Actions)
+	}
+	return total
+}
 
 // roundSlice returns the element range of segment seg covered in round c
 // relative to the working buffer, clipped to the segment.
@@ -422,10 +563,15 @@ func mod(a, n int) int { return ((a % n) + n) % n }
 
 // SequenceFor builds the primitive sequence for the participant at
 // position pos within s.Ranks, using the Ring algorithm and Simple
-// protocol (the configuration the paper evaluates).
+// protocol (the configuration the paper evaluates). Hierarchical specs
+// need the cluster's node grouping and different wiring: build their
+// executors through HierFabric, which calls HierSequenceFor.
 func (s Spec) SequenceFor(pos int) *Sequence {
 	if err := s.Validate(); err != nil {
 		panic(err)
+	}
+	if s.Algo == AlgoHierarchical {
+		panic("prim: hierarchical sequences need node grouping; build executors through HierFabric")
 	}
 	if pos < 0 || pos >= s.N() {
 		panic(fmt.Sprintf("prim: position %d out of range (n=%d)", pos, s.N()))

@@ -61,6 +61,13 @@ type MoEConfig struct {
 	// collectives each iteration and therefore requires a backend
 	// implementing orch.DynamicBackend even without DynamicGroups.
 	PaddedAllToAll bool
+	// Algo selects the dispatch/combine all-to-all algorithm:
+	// prim.AlgoRing (default) or prim.AlgoHierarchical, which tiers the
+	// exchange by the cluster topology (direct SHM intra-node, a leader
+	// ring of aggregated blocks over RDMA inter-node). Outputs are
+	// bit-identical either way; on multi-node clusters hierarchical
+	// moves strictly fewer inter-node bytes.
+	Algo prim.Algorithm
 }
 
 // moeTokenVal is the deterministic element value of token t of rank r
@@ -305,7 +312,7 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 		combineSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
 		combineRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, blockElems*n)
 	}
-	padSpec := prim.Spec{Kind: prim.AllToAll, Count: blockElems, Type: mem.Float64, Ranks: ranks}
+	padSpec := prim.Spec{Kind: prim.AllToAll, Count: blockElems, Type: mem.Float64, Ranks: ranks, Algo: cfg.Algo}
 
 	dispatchID := func(it int) int { return moeCollBase + it*moeCollStride + moeSlotDispatch }
 	combineID := func(it int) int { return moeCollBase + it*moeCollStride + moeSlotCombine }
@@ -348,8 +355,8 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 				combineSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, layout.recvElems)
 				combineRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, layout.sendElems)
 				elemCnt := scaleMatrix(tokCnt, ept)
-				dSpec = prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: ranks, Counts: elemCnt}
-				cSpec = prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: ranks, Counts: transpose(elemCnt)}
+				dSpec = prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: ranks, Counts: elemCnt, Algo: cfg.Algo}
+				cSpec = prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: ranks, Counts: transpose(elemCnt), Algo: cfg.Algo}
 			}
 			if err := db.RegisterData(p, rank, dID, dSpec, 0, dispatchSend, dispatchRecv); err != nil {
 				return err
