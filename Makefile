@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test test-race ci smoke doccheck
+.PHONY: all fmt vet build test test-race ci smoke doccheck bench
 
 all: ci
 
@@ -29,10 +29,17 @@ test-race:
 ci: fmt vet build test
 
 # doccheck fails if any exported identifier in the root package,
-# internal/prim, or internal/orch lacks a doc comment (go/ast-based,
-# no external linters; see cmd/doccheck).
+# internal/prim, internal/orch, or internal/fabric lacks a doc comment
+# (go/ast-based, no external linters; see cmd/doccheck).
 doccheck:
 	$(GO) run ./cmd/doccheck
+
+# bench regenerates the machine-readable perf-trajectory snapshot
+# (BENCH_pr6.json): the all-to-all size × algorithm × shape × fabric
+# matrix. Deterministic — regenerating on an unchanged tree is a no-op
+# diff, so CI can assert the committed snapshot is current.
+bench:
+	$(GO) run ./cmd/trainbench -fig a2abench -out BENCH_pr6.json
 
 # smoke is the all-in-one gate: formatting, static checks (go vet), the
 # race-detector test pass, the godoc floor, and a minimal-iteration pass

@@ -11,7 +11,13 @@
 //	-fig a2a  Fig. 8-style all-to-all algorithm sweep: flat ring vs
 //	          hierarchical (topology-aware) across node counts and
 //	          skew, with per-transport wire bytes and a bit-identical
-//	          output check
+//	          output check, followed by the shared-fabric congestion
+//	          sweep (per-tier link utilization, oversubscription
+//	          gates)
+//	-fig a2abench
+//	          machine-readable benchmark matrix (sizes × algorithms ×
+//	          shapes × fabrics) written as JSON to -out, the perf-
+//	          trajectory snapshot (`make bench` → BENCH_pr6.json)
 //
 // Iteration counts default to paper-scale (200) for -fig 10/13; use
 // -iters to reduce for quick runs. -trials sets the disordered-
@@ -19,18 +25,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"dfccl/internal/bench"
+	"dfccl/internal/fabric"
 	"dfccl/internal/prim"
 )
 
 func main() {
-	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, or a2a")
+	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, or a2abench")
 	iters := flag.Int("iters", 0, "training iterations (0 = figure default)")
 	trials := flag.Int("trials", 5, "disordered trials for the moe/zero deadlock tally")
+	out := flag.String("out", "", "output file for -fig a2abench (default stdout)")
 	flag.Parse()
 
 	switch *fig {
@@ -152,9 +161,94 @@ func main() {
 			}
 		}
 		fmt.Println("hierarchical outputs bit-identical to the ring on every shape; RDMA bytes strictly lower on multi-node shapes")
+		runContentionSweep()
+	case "a2abench":
+		cells, err := bench.A2ABenchMatrix()
+		check(err)
+		buf, err := json.MarshalIndent(cells, "", "  ")
+		check(err)
+		buf = append(buf, '\n')
+		if *out == "" {
+			_, err = os.Stdout.Write(buf)
+		} else {
+			err = os.WriteFile(*out, buf, 0o644)
+		}
+		check(err)
 	default:
 		check(fmt.Errorf("unknown -fig %q", *fig))
 	}
+}
+
+// runContentionSweep runs and gates the shared-fabric congestion sweep
+// appended to -fig a2a: the same exchanges priced on an oversubscribed
+// shared fabric, with per-tier link utilization printed next to the
+// per-transport byte split. It exits non-zero if spine contention is
+// invisible at 4 nodes with oversubscription above 1, if the
+// overlapping inter-leader flows are not slower than the isolated-sum
+// prediction, if the hierarchical advantage is not monotone in the
+// oversubscription factor, or if any output diverges bit-wise.
+func runContentionSweep() {
+	oversubs := []float64{1, 2, 4}
+	fmt.Println()
+	fmt.Println("congestion sweep (shared fabric, leaf+spine oversubscription F; 4×4 GPUs, bandwidth-dominated blocks)")
+	rows, err := bench.AllToAllContentionSweep(oversubs)
+	check(err)
+	ringE2E := map[[2]string]float64{}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+		line := "      tiers:"
+		for _, t := range r.Tiers {
+			line += fmt.Sprintf("  %v peak=%.2f sat=%v", t.Tier, t.PeakUtil, t.Saturated)
+		}
+		fmt.Println(line)
+		if !r.BitIdentical {
+			check(fmt.Errorf("F=%g %s %v: outputs diverged from the unshared/ring reference", r.Oversub, r.Skew, r.Algo))
+		}
+		key := [2]string{r.Skew, fmt.Sprint(r.Oversub)}
+		if r.Algo == prim.AlgoRing {
+			ringE2E[key] = float64(r.E2E)
+			continue
+		}
+		// Inter-leader gates on the hierarchical rows: its leader ring is
+		// exactly the overlapping-flows scenario the fabric must price.
+		if r.Oversub > 1 {
+			if r.E2E <= r.UnsharedE2E {
+				check(fmt.Errorf("F=%g %s: spine contention invisible — shared e2e %v not above isolated-sum %v",
+					r.Oversub, r.Skew, r.E2E, r.UnsharedE2E))
+			}
+			spineSat := false
+			for _, t := range r.Tiers {
+				if t.Tier == fabric.TierSpine && t.Saturated > 0 {
+					spineSat = true
+				}
+			}
+			if !spineSat {
+				check(fmt.Errorf("F=%g %s: spine never saturated under overlapping inter-leader flows", r.Oversub, r.Skew))
+			}
+		}
+	}
+	// Monotone-advantage gate: the hierarchical algorithm's edge over the
+	// ring (ring e2e − hier e2e) must grow with the oversubscription
+	// factor — it crosses the tapered core with fewer bytes, so every
+	// increase of F widens its margin.
+	for _, skew := range []string{"uniform", "hot-row"} {
+		prev := 0.0
+		for i, f := range oversubs {
+			var adv float64
+			for _, r := range rows {
+				if r.Skew == skew && r.Oversub == f && r.Algo == prim.AlgoHierarchical {
+					adv = ringE2E[[2]string{skew, fmt.Sprint(f)}] - float64(r.E2E)
+				}
+			}
+			fmt.Printf("  %-8s F=%-3g hierarchical advantage over ring: %+.0fus\n", skew, f, adv/1000)
+			if i > 0 && adv <= prev {
+				check(fmt.Errorf("%s: hierarchical advantage not monotone in oversubscription: F=%g gives %+.0fus after %+.0fus",
+					skew, f, adv/1000, prev/1000))
+			}
+			prev = adv
+		}
+	}
+	fmt.Println("contention gates passed: spine visible at F>1, inter-leader flows above isolated-sum, advantage monotone, outputs bit-identical")
 }
 
 func defaultIters(flagVal, def int) int {

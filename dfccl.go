@@ -35,6 +35,7 @@ package dfccl
 
 import (
 	"dfccl/internal/core"
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
@@ -92,6 +93,42 @@ type (
 	// the wire traffic a collective's executor sent, reported through
 	// CollectiveStats.
 	TransportBytes = prim.TransportBytes
+
+	// FabricNetwork prices the deployment's transfers: assign one to
+	// Config.Network. UnsharedFabric gives the legacy isolated-path
+	// model (the default); SharedFabric makes concurrent transfers
+	// contend max-min fairly for per-tier link capacity.
+	FabricNetwork = fabric.Network
+	// FabricConfig shapes a shared fabric: machines per leaf switch and
+	// the per-tier oversubscription factors.
+	FabricConfig = fabric.Config
+	// LinkStat is one fabric link's cumulative counters (bytes carried,
+	// busy and saturated time), reported through CollectiveStats.Fabric.
+	LinkStat = fabric.LinkStat
+	// TierUtil aggregates LinkStats per fabric tier; build it with
+	// FabricTierSummary.
+	TierUtil = fabric.TierUtil
+)
+
+// Fabric constructors and helpers for Config.Network.
+var (
+	// UnsharedFabric is the legacy pricing: every transfer runs at its
+	// path's full bandwidth, blind to concurrent flows. Bit-identical in
+	// timing and data to the pre-fabric behavior.
+	UnsharedFabric = fabric.Unshared
+	// SharedFabric derives the cluster's physical link graph (SHM
+	// domains, NICs, leaf and spine switches) and makes concurrent
+	// transfers share link capacity max-min fairly.
+	SharedFabric = fabric.Shared
+	// DefaultFabricConfig is a full-bisection fabric (no
+	// oversubscription), two machines per leaf.
+	DefaultFabricConfig = fabric.DefaultConfig
+	// OversubFabricConfig sets the leaf and spine oversubscription
+	// factors to f (1 = full bisection; >1 tapers core capacity).
+	OversubFabricConfig = fabric.OversubConfig
+	// FabricTierSummary folds per-link stats into one row per tier over
+	// a time horizon.
+	FabricTierSummary = fabric.TierSummary
 )
 
 // Functional options for (*RankContext).Open.

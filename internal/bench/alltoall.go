@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dfccl/internal/core"
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
@@ -74,9 +75,18 @@ func a2aSendVal(src, dst, i int) float64 {
 }
 
 // runA2A runs one real-data AllToAllv exchange over the v2 handle API
-// with the given algorithm and returns the measured row plus every
-// rank's recv-buffer bytes for cross-algorithm comparison.
+// with the given algorithm under the default (Unshared) pricing and
+// returns the measured row plus every rank's recv-buffer bytes for
+// cross-algorithm comparison.
 func runA2A(cluster *topo.Cluster, counts [][]int, algo prim.Algorithm) (A2ARow, [][]byte, error) {
+	row, outs, _, err := runA2AWith(cluster, nil, counts, algo)
+	return row, outs, err
+}
+
+// runA2AWith is runA2A with an explicit fabric network (nil selects the
+// system default, fabric.Unshared). When the network is contended it
+// also returns the per-tier link-utilization summary over the run.
+func runA2AWith(cluster *topo.Cluster, net *fabric.Network, counts [][]int, algo prim.Algorithm) (A2ARow, [][]byte, []fabric.TierUtil, error) {
 	n := len(counts)
 	ranks := make([]int, n)
 	for i := range ranks {
@@ -84,7 +94,9 @@ func runA2A(cluster *topo.Cluster, counts [][]int, algo prim.Algorithm) (A2ARow,
 	}
 	e := sim.NewEngine()
 	e.MaxTime = sim.Time(600 * sim.Second)
-	sys := core.NewSystem(e, cluster, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Network = net
+	sys := core.NewSystem(e, cluster, cfg)
 	bar := NewBarrier(n)
 	row := A2ARow{Algo: algo}
 	outs := make([][]byte, n)
@@ -140,12 +152,16 @@ func runA2A(cluster *topo.Cluster, counts [][]int, algo prim.Algorithm) (A2ARow,
 	}
 	err := e.Run()
 	if firstErr != nil {
-		return row, nil, firstErr
+		return row, nil, nil, firstErr
 	}
 	if err != nil {
-		return row, nil, fmt.Errorf("bench: a2a %v: %w", algo, err)
+		return row, nil, nil, fmt.Errorf("bench: a2a %v: %w", algo, err)
 	}
-	return row, outs, nil
+	var tiers []fabric.TierUtil
+	if net != nil && net.Contended() {
+		tiers = fabric.TierSummary(net.Snapshot(), sim.Duration(e.Now()))
+	}
+	return row, outs, tiers, nil
 }
 
 // AllToAllAlgoSweep is the Fig. 8-style algorithm sweep: for each

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+
+	"dfccl/internal/fabric"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// A2AContentionRow is one (oversubscription, skew, algorithm) cell of
+// the congestion sweep: the same real-data AllToAllv priced once on a
+// shared fabric with per-tier oversubscription and once under the
+// legacy isolated-path model, so the row quantifies exactly what
+// contention costs and where it lands (the per-tier summary).
+type A2AContentionRow struct {
+	// Nodes × GPUsPerNode is the cluster shape.
+	Nodes, GPUsPerNode int
+	// Skew names the count-matrix shape ("uniform" or "hot-row").
+	Skew string
+	// Oversub is the leaf and spine oversubscription factor of the
+	// shared fabric (1 = full bisection).
+	Oversub float64
+	// Algo is the algorithm this row measured.
+	Algo prim.Algorithm
+	// E2E is the exchange latency on the shared (contended) fabric.
+	E2E sim.Duration
+	// UnsharedE2E is the same exchange under isolated-path pricing —
+	// the isolated-sum prediction a congestion-blind model would give.
+	UnsharedE2E sim.Duration
+	// RDMABytes is the inter-node wire traffic (identical either way:
+	// the fabric changes timing, never routing or data).
+	RDMABytes int
+	// BitIdentical reports that the shared-fabric recv buffers matched
+	// both the unshared run and the ring reference byte for byte.
+	BitIdentical bool
+	// Tiers is the per-tier link-utilization summary of the shared run.
+	Tiers []fabric.TierUtil
+}
+
+// Slowdown is the contention penalty: shared E2E over the isolated-sum
+// prediction.
+func (r A2AContentionRow) Slowdown() float64 {
+	return float64(r.E2E) / float64(r.UnsharedE2E)
+}
+
+// String renders the row as one sweep-table line.
+func (r A2AContentionRow) String() string {
+	return fmt.Sprintf("%d×%d GPUs  %-8s F=%-3v %-13v e2e=%-12v unshared=%-12v ×%.2f  rdma=%-8s identical=%v",
+		r.Nodes, r.GPUsPerNode, r.Skew, r.Oversub, r.Algo, r.E2E, r.UnsharedE2E,
+		r.Slowdown(), HumanBytes(r.RDMABytes), r.BitIdentical)
+}
+
+// AllToAllContentionSweep runs the 4-node congestion sweep: for each
+// oversubscription factor and skew regime the same real-data AllToAllv
+// runs under the flat ring and the hierarchical algorithm on a shared
+// fabric (fabric.OversubConfig), with an isolated-path twin run giving
+// the congestion-blind prediction. The claims the caller should enforce
+// (cmd/trainbench does): with oversubscription above 1 the shared
+// timing is strictly slower than the isolated-sum prediction (spine
+// contention is visible), the hierarchical algorithm's advantage over
+// the ring grows monotonically with the factor (it crosses the
+// oversubscribed tiers fewer times), and every run's outputs are
+// bit-identical — contention reprices, it never reroutes.
+func AllToAllContentionSweep(oversubs []float64) ([]A2AContentionRow, error) {
+	return contentionSweep(4, 4, oversubs)
+}
+
+// contentionScale multiplies the algorithm sweep's count matrices into
+// the bandwidth-dominated regime (uniform blocks of 48 KB), where the
+// spine is the bottleneck for both algorithms and the hierarchical
+// advantage is a capacity statement rather than a latency one. Below
+// this regime the flat ring hides its RDMA hops behind the store-and-
+// forward critical path and contention only narrows the relative gap.
+const contentionScale = 256
+
+// contentionSweep is AllToAllContentionSweep over an explicit shape.
+func contentionSweep(nodes, gpus int, oversubs []float64) ([]A2AContentionRow, error) {
+	var rows []A2AContentionRow
+	for _, f := range oversubs {
+		for _, skew := range []string{"uniform", "hot-row"} {
+			counts := a2aCounts(nodes*gpus, skew)
+			for i := range counts {
+				for j := range counts[i] {
+					counts[i][j] *= contentionScale
+				}
+			}
+			var ringOuts [][]byte
+			for _, algo := range []prim.Algorithm{prim.AlgoRing, prim.AlgoHierarchical} {
+				cluster := topo.NewCluster(nodes, gpus, topo.RTX3090, topo.DefaultLinks)
+				net := fabric.Shared(cluster, fabric.OversubConfig(f))
+				row, outs, tiers, err := runA2AWith(cluster, net, counts, algo)
+				if err != nil {
+					return nil, err
+				}
+				unshRow, unshOuts, err := runA2A(
+					topo.NewCluster(nodes, gpus, topo.RTX3090, topo.DefaultLinks), counts, algo)
+				if err != nil {
+					return nil, err
+				}
+				if algo == prim.AlgoRing {
+					ringOuts = outs
+				}
+				rows = append(rows, A2AContentionRow{
+					Nodes: nodes, GPUsPerNode: gpus, Skew: skew, Oversub: f, Algo: algo,
+					E2E: row.E2E, UnsharedE2E: unshRow.E2E, RDMABytes: row.RDMABytes,
+					BitIdentical: bytesEqual(outs, unshOuts) && bytesEqual(outs, ringOuts),
+					Tiers:        tiers,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// BenchCell is one row of the machine-readable benchmark matrix
+// (BENCH_pr6.json): an all-to-all size × shape × algorithm × fabric
+// cell with its end-to-end latency and transport byte split.
+type BenchCell struct {
+	// Figure tags the sweep this cell belongs to.
+	Figure string `json:"figure"`
+	// Nodes and GPUsPerNode give the cluster shape.
+	Nodes       int `json:"nodes"`
+	GPUsPerNode int `json:"gpus_per_node"`
+	// Elems is the uniform per-pair element count (float64).
+	Elems int `json:"elems_per_pair"`
+	// Algo is "ring" or "hierarchical".
+	Algo string `json:"algo"`
+	// Fabric is the pricing model: "unshared" or "oversub<F>".
+	Fabric string `json:"fabric"`
+	// Oversub is the oversubscription factor (0 for unshared).
+	Oversub float64 `json:"oversub"`
+	// E2ENs is the exchange's end-to-end latency in virtual ns.
+	E2ENs int64 `json:"e2e_ns"`
+	// SHMBytes and RDMABytes split the wire traffic by transport.
+	SHMBytes  int `json:"shm_bytes"`
+	RDMABytes int `json:"rdma_bytes"`
+}
+
+// A2ABenchMatrix generates the BENCH_pr6.json benchmark matrix:
+// uniform all-to-all at three per-pair sizes across the node shapes,
+// each priced under both algorithms on the unshared fabric and on a
+// 2:1-oversubscribed shared fabric. Deterministic by construction —
+// regenerating the file must be a no-op diff.
+func A2ABenchMatrix() ([]BenchCell, error) {
+	const benchOversub = 2.0
+	var cells []BenchCell
+	for _, shape := range []struct{ nodes, gpus int }{{1, 4}, {2, 4}, {4, 4}} {
+		for _, elems := range []int{24, 96, 384} {
+			n := shape.nodes * shape.gpus
+			counts := make([][]int, n)
+			for i := range counts {
+				counts[i] = make([]int, n)
+				for j := range counts[i] {
+					counts[i][j] = elems
+				}
+			}
+			for _, algo := range []prim.Algorithm{prim.AlgoRing, prim.AlgoHierarchical} {
+				for _, shared := range []bool{false, true} {
+					cluster := topo.NewCluster(shape.nodes, shape.gpus, topo.RTX3090, topo.DefaultLinks)
+					var net *fabric.Network
+					cell := BenchCell{
+						Figure: "a2abench", Nodes: shape.nodes, GPUsPerNode: shape.gpus,
+						Elems: elems, Algo: fmt.Sprint(algo), Fabric: "unshared",
+					}
+					if shared {
+						net = fabric.Shared(cluster, fabric.OversubConfig(benchOversub))
+						cell.Fabric = fmt.Sprintf("oversub%g", benchOversub)
+						cell.Oversub = benchOversub
+					}
+					row, _, _, err := runA2AWith(cluster, net, counts, algo)
+					if err != nil {
+						return nil, err
+					}
+					cell.E2ENs = int64(row.E2E)
+					cell.SHMBytes, cell.RDMABytes = row.SHMBytes, row.RDMABytes
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	return cells, nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
@@ -193,6 +194,12 @@ type CollectiveStats struct {
 	// BytesSentBy splits BytesSent by transport (SHM vs RDMA vs
 	// device-local) — what the hierarchical-vs-ring comparisons pin.
 	BytesSentBy prim.TransportBytes
+	// Fabric is a snapshot of the shared network's per-link counters
+	// (bytes carried, busy/saturated time) at Stats time. The fabric is
+	// system-wide, so the snapshot reflects all traffic, not just this
+	// collective's. Empty under the default Unshared pricing, which has
+	// no shared links.
+	Fabric []fabric.LinkStat
 }
 
 // Stats returns this collective's per-rank scheduling statistics; the
@@ -213,6 +220,7 @@ func (c *Collective) Stats() CollectiveStats {
 		LastCoreExec:   c.r.CoreExecTime(c.id),
 		BytesSent:      t.exec.BytesSent,
 		BytesSentBy:    t.exec.BytesSentBy,
+		Fabric:         c.r.sys.Network().Snapshot(),
 	}
 }
 

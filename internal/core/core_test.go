@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
@@ -531,7 +532,8 @@ func TestSpinPolicyGradientAndBoost(t *testing.T) {
 }
 
 func TestCommunicatorPoolReuse(t *testing.T) {
-	pool := newCommPool(topo.Server3090(4))
+	c4 := topo.Server3090(4)
+	pool := newCommPool(c4, fabric.Unshared(c4))
 	a := pool.acquire([]int{0, 1, 2}, "a")
 	pool.release(a)
 	b := pool.acquire([]int{2, 1, 0}, "b") // same set, different order

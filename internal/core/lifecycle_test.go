@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -515,7 +516,7 @@ func TestClosedHandleReportsZeroStats(t *testing.T) {
 				t.Errorf("wait: %v", err)
 				return
 			}
-			if got := old.Stats(); got != (CollectiveStats{}) {
+			if got := old.Stats(); !reflect.DeepEqual(got, CollectiveStats{}) {
 				t.Errorf("stale handle Stats = %+v, want zero", got)
 			}
 			if got := old.Spec(); got.Count != 0 {

@@ -1,6 +1,9 @@
 package core
 
-import "dfccl/internal/sim"
+import (
+	"dfccl/internal/fabric"
+	"dfccl/internal/sim"
+)
 
 // SpinPolicy configures the spin-threshold half of the stickiness
 // adjustment scheme (Sec. 4.3). The adaptive policy assigns the largest
@@ -153,6 +156,14 @@ type Config struct {
 	// transaction, paying the full PCIe read cost once per batch and a
 	// small per-entry parse cost for the rest.
 	BatchedSQERead bool
+	// Network prices every transfer of the deployment. nil selects
+	// fabric.Unshared over the system's cluster — the legacy
+	// independent Path.TransferTime pricing, bit-identical to pre-fabric
+	// behavior. Pass fabric.Shared to make concurrent transfers contend
+	// for link capacity (and surface per-link counters through
+	// CollectiveStats.Fabric). The network's cluster must be the one
+	// given to NewSystem.
+	Network *fabric.Network
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

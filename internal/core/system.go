@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dfccl/internal/cudasim"
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
@@ -20,6 +21,7 @@ type System struct {
 	Config  Config
 	Devs    []*cudasim.Device
 
+	net    *fabric.Network
 	ranks  []*RankContext
 	groups map[int]*Group
 	pool   *commPool
@@ -36,15 +38,22 @@ type System struct {
 const AutoCollIDBase = 1 << 20
 
 // NewSystem creates the deployment. Rank contexts are created lazily by
-// Init, mirroring dfcclInit.
+// Init, mirroring dfcclInit. Transfer pricing follows cfg.Network; when
+// nil, an Unshared fabric over c reproduces the legacy independent
+// pricing exactly.
 func NewSystem(e *sim.Engine, c *topo.Cluster, cfg Config) *System {
+	net := cfg.Network
+	if net == nil {
+		net = fabric.Unshared(c)
+	}
 	s := &System{
 		Engine:     e,
 		Cluster:    c,
 		Config:     cfg,
+		net:        net,
 		ranks:      make([]*RankContext, c.Size()),
 		groups:     make(map[int]*Group),
-		pool:       newCommPool(c),
+		pool:       newCommPool(c, net),
 		autoIDs:    make(map[string][]int),
 		nextAutoID: AutoCollIDBase,
 	}
@@ -53,6 +62,10 @@ func NewSystem(e *sim.Engine, c *topo.Cluster, cfg Config) *System {
 	}
 	return s
 }
+
+// Network returns the fabric all of the system's communicators price
+// transfers on.
+func (s *System) Network() *fabric.Network { return s.net }
 
 // Device returns the simulated device for a rank.
 func (s *System) Device(rank int) *cudasim.Device { return s.Devs[rank] }
@@ -213,7 +226,11 @@ type communicator struct {
 	// misclassify cross-node traffic as SHM).
 	hier      *prim.HierFabric
 	hierRanks []int
-	inUse     bool
+	// net prices every transfer of the communicator's wirings; it is
+	// the system-wide fabric, so collectives on different
+	// communicators contend with each other when it is Shared.
+	net   *fabric.Network
+	inUse bool
 }
 
 // executorFor builds the executor for spec's participant at ring
@@ -221,7 +238,7 @@ type communicator struct {
 func (c *communicator) executorFor(cluster *topo.Cluster, spec prim.Spec, pos int) *prim.Executor {
 	if spec.Algo == prim.AlgoHierarchical {
 		if c.hier == nil || !sameRankOrder(c.hierRanks, spec.Ranks) {
-			c.hier = prim.BuildHierFabric(cluster, spec.Ranks, c.tag+".hier")
+			c.hier = prim.BuildHierFabricOn(c.net, spec.Ranks, c.tag+".hier")
 			c.hierRanks = append([]int(nil), spec.Ranks...)
 		}
 		return c.hier.ExecutorFor(cluster, spec, pos, nil, nil)
@@ -245,12 +262,13 @@ func sameRankOrder(a, b []int) bool {
 
 type commPool struct {
 	cluster *topo.Cluster
+	net     *fabric.Network
 	free    map[string][]*communicator
 	created int
 }
 
-func newCommPool(c *topo.Cluster) *commPool {
-	return &commPool{cluster: c, free: make(map[string][]*communicator)}
+func newCommPool(c *topo.Cluster, net *fabric.Network) *commPool {
+	return &commPool{cluster: c, net: net, free: make(map[string][]*communicator)}
 }
 
 func rankKey(ranks []int) string {
@@ -273,7 +291,8 @@ func (cp *commPool) acquire(ranks []int, tag string) *communicator {
 	c := &communicator{
 		ranks: append([]int(nil), ranks...),
 		tag:   tag,
-		ring:  prim.BuildRing(cp.cluster, prim.Spec{Kind: prim.AllReduce, Ranks: ranks, Type: mem.Float32}, tag),
+		ring:  prim.BuildRingOn(cp.net, prim.Spec{Kind: prim.AllReduce, Ranks: ranks, Type: mem.Float32}, tag),
+		net:   cp.net,
 		inUse: true,
 	}
 	return c

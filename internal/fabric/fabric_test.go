@@ -1,0 +1,279 @@
+package fabric
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// near asserts got is within tol of want (float rounding in the flow
+// scheduler can shift completions by a nanosecond per re-predict).
+func near(t *testing.T, what string, got, want, tol sim.Duration) {
+	t.Helper()
+	if d := got - want; d < -tol || d > tol {
+		t.Fatalf("%s: got %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+// TestUnsharedMatchesLegacyExactly checks the regression contract: an
+// Unshared network prices every transfer at exactly Path.TransferTime.
+func TestUnsharedMatchesLegacyExactly(t *testing.T) {
+	c := topo.NewCluster(2, 4, topo.RTX3090, topo.DefaultLinks)
+	n := Unshared(c)
+	pairs := [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 3}, {0, 4}, {3, 7}, {6, 1}}
+	sizes := []int{0, 1, 137, 4096, 1 << 20}
+	e := sim.NewEngine()
+	e.Spawn("xfers", func(p *sim.Process) {
+		for _, pr := range pairs {
+			r := n.RouteBetween(pr[0], pr[1])
+			if len(r.Links) != 0 {
+				t.Errorf("unshared route %v has %d links", pr, len(r.Links))
+			}
+			for _, sz := range sizes {
+				start := p.Now()
+				n.Transfer(p, r, sz)
+				got := p.Now().Sub(start)
+				want := sim.Duration(r.Path.TransferTime(sz))
+				if got != want {
+					t.Errorf("pair %v size %d: got %v, want %v", pr, sz, got, want)
+				}
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Snapshot()) != 0 {
+		t.Fatalf("unshared network has link stats: %v", n.Snapshot())
+	}
+}
+
+// TestLoneFlowMatchesLegacyWithinRounding: on a non-blocking fabric a
+// lone flow serializes at its full Path.Bandwidth; only the
+// ceil-vs-truncate nanosecond rounding can differ from legacy pricing.
+func TestLoneFlowMatchesLegacyWithinRounding(t *testing.T) {
+	c := topo.NewCluster(4, 4, topo.RTX3090, topo.DefaultLinks)
+	n := Shared(c, OversubConfig(1))
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 4}, {0, 12}, {5, 15}}
+	e := sim.NewEngine()
+	e.Spawn("xfers", func(p *sim.Process) {
+		for _, pr := range pairs {
+			r := n.RouteBetween(pr[0], pr[1])
+			start := p.Now()
+			n.Transfer(p, r, 1<<20)
+			got := p.Now().Sub(start)
+			want := sim.Duration(r.Path.TransferTime(1 << 20))
+			near(t, "lone flow", got, want, 1)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaperedPoolCapsLoneFlow pins the capacity-pool semantics of the
+// oversubscription taper: at F=4 on 4 machines the spine pool
+// (M×RDMA/F² = 1.55 GB/s) sits below a single NIC's line rate, so even
+// an uncontended cross-leaf flow is held to the pool — a blocking core,
+// not just a contention effect.
+func TestTaperedPoolCapsLoneFlow(t *testing.T) {
+	links := topo.DefaultLinks
+	c := topo.NewCluster(4, 1, topo.RTX3090, links)
+	n := Shared(c, OversubConfig(4))
+	e := sim.NewEngine()
+	var end sim.Time
+	e.Spawn("flow", func(p *sim.Process) {
+		n.Transfer(p, n.RouteBetween(0, 2), 1<<20)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spineCap := 4 * links.RDMABW / 16
+	want := sim.Duration(links.RDMALat) + sim.Duration(math.Ceil((1<<20)/spineCap*1e9))
+	near(t, "tapered lone flow", sim.Duration(end), want, 3)
+}
+
+// TestFlowJoinReschedules walks the canonical piecewise case: B joins
+// halfway through A, both drop to half rate, A's tail stretches 2×, and
+// after A leaves B speeds back up.
+func TestFlowJoinRescheduled(t *testing.T) {
+	c := topo.NewCluster(2, 1, topo.RTX3090, topo.DefaultLinks)
+	n := Shared(c, DefaultConfig())
+	const bytes = 620000 // 100µs at the 6.2 GB/s RDMA path
+	r := n.RouteBetween(0, 1)
+	e := sim.NewEngine()
+	var aEnd, bEnd sim.Time
+	e.Spawn("A", func(p *sim.Process) {
+		n.Transfer(p, r, bytes)
+		aEnd = p.Now()
+	})
+	e.Spawn("B", func(p *sim.Process) {
+		p.Sleep(50 * sim.Microsecond)
+		n.Transfer(p, r, bytes)
+		bEnd = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A: 9µs latency + 50µs at full rate + 100µs at half rate = 159µs.
+	near(t, "flow A end", sim.Duration(aEnd), 159*sim.Microsecond, 3)
+	// B: joins at 59µs, 100µs at half rate + 50µs at full rate.
+	near(t, "flow B end", sim.Duration(bEnd), 209*sim.Microsecond, 3)
+
+	stats := n.Snapshot()
+	var tx LinkStat
+	for _, s := range stats {
+		if s.Name == "nic-tx/m0" {
+			tx = s
+		}
+	}
+	if math.Abs(tx.Bytes-2*bytes) > 1 {
+		t.Fatalf("nic-tx/m0 carried %.0f bytes, want %d", tx.Bytes, 2*bytes)
+	}
+	// The NIC runs at line rate the whole time — alone or shared, its
+	// full capacity is allocated, so busy and saturated both span
+	// 9µs..209µs.
+	near(t, "nic-tx saturated", tx.Saturated, 200*sim.Microsecond, 5)
+	near(t, "nic-tx busy", tx.Busy, 200*sim.Microsecond, 5)
+}
+
+// TestSpineSaturationPoint sweeps concurrent cross-leaf flows over an
+// oversubscribed spine and asserts the saturation knee, inference-sim
+// style: per-flow completion matches min(pathBW, spineCap/flows)
+// analytically, and the spine's saturated-time counter turns on exactly
+// when the aggregate demand reaches the pool.
+func TestSpineSaturationPoint(t *testing.T) {
+	const bytes = 1 << 20
+	links := topo.DefaultLinks
+	cfg := Config{MachinesPerLeaf: 1, LeafOversub: 1, SpineOversub: 2, SHMOversub: 1}
+	// 4 single-GPU machines, one per leaf: spine = 4×RDMA/2 = 2×RDMA.
+	spineCap := 4 * links.RDMABW / 2
+	for nf := 1; nf <= 4; nf++ {
+		c := topo.NewCluster(4, 1, topo.RTX3090, links)
+		n := Shared(c, cfg)
+		e := sim.NewEngine()
+		ends := make([]sim.Time, nf)
+		for i := 0; i < nf; i++ {
+			i := i
+			src, dst := i, (i+2)%4 // always cross-leaf
+			e.Spawn("flow", func(p *sim.Process) {
+				n.Transfer(p, n.RouteBetween(src, dst), bytes)
+				ends[i] = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		rate := math.Min(links.RDMABW, spineCap/float64(nf))
+		want := sim.Duration(links.RDMALat) + sim.Duration(math.Ceil(bytes/rate*1e9))
+		for i, end := range ends {
+			near(t, "flow completion", sim.Duration(end), want, 3)
+			_ = i
+		}
+		var spine LinkStat
+		for _, s := range n.Snapshot() {
+			if s.Tier == TierSpine {
+				spine = s
+			}
+		}
+		if nf >= 2 && spine.Saturated == 0 {
+			t.Fatalf("%d flows: spine never saturated (demand %d×RDMA ≥ cap 2×RDMA)", nf, nf)
+		}
+		if nf < 2 && spine.Saturated != 0 {
+			t.Fatalf("%d flow: spine reported saturated %v below the knee", nf, spine.Saturated)
+		}
+		if math.Abs(spine.Bytes-float64(nf*bytes)) > float64(nf) {
+			t.Fatalf("%d flows: spine carried %.0f bytes, want %d", nf, spine.Bytes, nf*bytes)
+		}
+	}
+}
+
+// TestRouteLinksByTier pins the link composition of each route class.
+func TestRouteLinksByTier(t *testing.T) {
+	c := topo.NewCluster(4, 8, topo.RTX3090, topo.DefaultLinks)
+	n := Shared(c, DefaultConfig()) // leaves {m0,m1}, {m2,m3}
+	tiersOf := func(a, b int) []string {
+		var out []string
+		for _, l := range n.RouteBetween(a, b).Links {
+			out = append(out, l.Tier.String())
+		}
+		return out
+	}
+	cases := []struct {
+		a, b int
+		want []string
+	}{
+		{0, 0, nil},                                              // local
+		{0, 1, []string{"shm"}},                                  // same domain
+		{0, 4, []string{"shm", "sys", "shm"}},                    // cross socket
+		{0, 8, []string{"nic", "nic"}},                           // same leaf
+		{0, 16, []string{"nic", "leaf", "spine", "leaf", "nic"}}, // cross leaf
+		{31, 0, []string{"nic", "leaf", "spine", "leaf", "nic"}}, // reverse
+	}
+	for _, tc := range cases {
+		if got := tiersOf(tc.a, tc.b); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("route %d->%d: tiers %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestDeterministicReplay: identical flow programs produce bit-identical
+// snapshots and completions across runs (slice-order solving, no maps
+// in the hot path).
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]LinkStat, sim.Time) {
+		c := topo.NewCluster(4, 2, topo.RTX3090, topo.DefaultLinks)
+		n := Shared(c, OversubConfig(2))
+		e := sim.NewEngine()
+		var last sim.Time
+		for i := 0; i < 8; i++ {
+			src, dst := i, (i+3)%8
+			e.Spawn("flow", func(p *sim.Process) {
+				p.Sleep(sim.Duration(src) * sim.Microsecond)
+				n.Transfer(p, n.RouteBetween(src, dst), 300000+1000*src)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Snapshot(), last
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if t1 != t2 {
+		t.Fatalf("end times differ across replays: %v vs %v", t1, t2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ across replays:\n%v\n%v", s1, s2)
+	}
+}
+
+// TestTierSummary folds a synthetic snapshot and checks ordering and
+// peak selection.
+func TestTierSummary(t *testing.T) {
+	stats := []LinkStat{
+		{Name: "spine", Tier: TierSpine, Capacity: 10e9, Bytes: 5e9, Saturated: 10},
+		{Name: "shm/0", Tier: TierSHM, Capacity: 40e9, Bytes: 4e9},
+		{Name: "shm/1", Tier: TierSHM, Capacity: 40e9, Bytes: 8e9},
+	}
+	sum := TierSummary(stats, sim.Second)
+	if len(sum) != 2 || sum[0].Tier != TierSHM || sum[1].Tier != TierSpine {
+		t.Fatalf("summary tiers wrong: %+v", sum)
+	}
+	if sum[0].Links != 2 || sum[0].Bytes != 12e9 {
+		t.Fatalf("shm row wrong: %+v", sum[0])
+	}
+	if got, want := sum[0].PeakUtil, 0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("shm peak util %v, want %v", got, want)
+	}
+	if sum[1].Saturated != 10 {
+		t.Fatalf("spine saturated %v, want 10", sum[1].Saturated)
+	}
+}

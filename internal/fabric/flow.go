@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"math"
+
+	"dfccl/internal/sim"
+)
+
+// flow is one in-flight transfer holding capacity on its route's links.
+type flow struct {
+	route     Route
+	remaining float64 // bytes left to move
+	cap       float64 // per-flow rate ceiling (the route's Path.Bandwidth)
+	rate      float64 // current max-min fair rate, set by recompute
+	frozen    bool    // scratch for one water-filling solve
+}
+
+// Transfer moves bytes over route r, blocking the calling process for
+// the transfer's duration. The Path latency is always charged up front.
+// Under Unshared networks — or for routes with no shared links, or
+// zero-byte sends — the duration is exactly Path.TransferTime(bytes),
+// matching the legacy pricing bit-for-bit. Otherwise the transfer
+// becomes a flow: it serializes at its max-min fair share of every link
+// on the route, re-solved each time any flow joins or finishes, so its
+// duration depends on concurrent traffic. (Even without contention the
+// shared pricing rounds serialization up to whole nanoseconds, where
+// the legacy pricing truncates — durations may differ by 1ns.)
+func (n *Network) Transfer(p *sim.Process, r Route, bytes int) {
+	if !n.shared || len(r.Links) == 0 || bytes == 0 {
+		p.Sleep(sim.Duration(r.Path.TransferTime(bytes)))
+		return
+	}
+	p.Sleep(sim.Duration(r.Path.Latency))
+	e := p.Engine()
+	f := &flow{route: r, remaining: float64(bytes), cap: r.Path.Bandwidth}
+	n.advance(e.Now())
+	n.flows = append(n.flows, f)
+	n.recompute()
+	n.change.Broadcast(e)
+	for {
+		n.advance(e.Now())
+		if f.remaining <= 0 {
+			break
+		}
+		// Sleep until the predicted completion at the current rate; a
+		// rate change broadcasts and wakes us early to re-predict.
+		wait := sim.Duration(math.Ceil(f.remaining / f.rate * 1e9))
+		n.change.WaitTimeout(p, wait)
+	}
+	n.remove(f)
+	n.recompute()
+	n.change.Broadcast(e)
+}
+
+// remove drops a finished flow from the active set.
+func (n *Network) remove(f *flow) {
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// advance accrues progress for every active flow from the last
+// accounting instant to now at the rates of the last solve, updating
+// per-link byte/busy/saturated counters. It must run before any change
+// to the flow set (and after every wakeup, before remaining is read).
+func (n *Network) advance(now sim.Time) {
+	dt := now.Sub(n.lastAt)
+	n.lastAt = now
+	if dt <= 0 {
+		return
+	}
+	sec := float64(dt) / 1e9
+	for _, f := range n.flows {
+		moved := f.rate * sec
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.route.Links {
+			l.bytes += moved
+		}
+	}
+	for _, l := range n.links {
+		if l.nflows > 0 {
+			l.busy += dt
+			if l.saturatedNow {
+				l.saturated += dt
+			}
+		}
+	}
+}
+
+// recompute solves max-min fair rates for the active flows by
+// progressive filling: repeatedly find the bottleneck — the link whose
+// equal share among its unfrozen flows is smallest — and freeze its
+// flows at that share (flows whose own Path.Bandwidth cap binds first
+// freeze at their cap). Iteration is in deterministic slice order, so
+// identical flow sets always solve to identical rates.
+func (n *Network) recompute() {
+	for _, l := range n.links {
+		l.nflows, l.alloc = 0, 0
+		l.avail, l.live = l.Capacity, 0
+		l.saturatedNow = false
+	}
+	for _, f := range n.flows {
+		f.rate, f.frozen = 0, false
+		for _, l := range f.route.Links {
+			l.nflows++
+			l.live++
+		}
+	}
+	unfrozen := len(n.flows)
+	for unfrozen > 0 {
+		minShare := math.Inf(1)
+		for _, l := range n.links {
+			if l.live > 0 {
+				if s := l.avail / float64(l.live); s < minShare {
+					minShare = s
+				}
+			}
+		}
+		capped := false
+		for _, f := range n.flows {
+			if !f.frozen && f.cap <= minShare {
+				n.freeze(f, f.cap)
+				unfrozen--
+				capped = true
+			}
+		}
+		if capped {
+			continue // shares may have grown; re-find the bottleneck
+		}
+		var bottleneck *Link
+		for _, l := range n.links {
+			if l.live > 0 && l.avail/float64(l.live) == minShare {
+				bottleneck = l
+				break
+			}
+		}
+		for _, f := range n.flows {
+			if !f.frozen && crosses(f, bottleneck) {
+				n.freeze(f, minShare)
+				unfrozen--
+			}
+		}
+	}
+	for _, l := range n.links {
+		l.saturatedNow = l.nflows > 0 && l.alloc >= l.Capacity*(1-1e-9)
+	}
+}
+
+// freeze fixes a flow's rate and releases its claim on residual shares.
+func (n *Network) freeze(f *flow, rate float64) {
+	if rate < 1 {
+		rate = 1 // floor against degenerate float residue; never hit in practice
+	}
+	f.frozen, f.rate = true, rate
+	for _, l := range f.route.Links {
+		l.live--
+		l.alloc += rate
+		l.avail -= rate
+		if l.avail < 0 {
+			l.avail = 0
+		}
+	}
+}
+
+// crosses reports whether the flow's route uses the link.
+func crosses(f *flow, l *Link) bool {
+	for _, fl := range f.route.Links {
+		if fl == l {
+			return true
+		}
+	}
+	return false
+}

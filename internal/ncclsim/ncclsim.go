@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"dfccl/internal/cudasim"
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
@@ -37,13 +38,26 @@ const DefaultChannels = 8
 type Lib struct {
 	Cluster *topo.Cluster
 	Devs    []*cudasim.Device
-	engine  *sim.Engine
-	comms   int
+	// Net prices every transfer the library's communicators issue. New
+	// wires fabric.Unshared (the legacy isolated-path pricing); use
+	// NewOnFabric to run the baseline over a shared congestion-aware
+	// network, so NCCL-vs-DFCCL comparisons can price both libraries on
+	// the same contended fabric.
+	Net    *fabric.Network
+	engine *sim.Engine
+	comms  int
 }
 
 // New creates the library and one device per GPU in the cluster.
 func New(e *sim.Engine, c *topo.Cluster) *Lib {
-	l := &Lib{Cluster: c, engine: e}
+	return NewOnFabric(e, fabric.Unshared(c))
+}
+
+// NewOnFabric creates the library over an explicit fabric network; the
+// network's cluster supplies the devices and topology.
+func NewOnFabric(e *sim.Engine, net *fabric.Network) *Lib {
+	c := net.Cluster()
+	l := &Lib{Cluster: c, Net: net, engine: e}
 	for _, g := range c.GPUs {
 		l.Devs = append(l.Devs, cudasim.NewDevice(e, g.Rank, g.Model))
 	}
@@ -89,7 +103,7 @@ func (l *Lib) NewComm(ranks []int) *Comm {
 	c := &Comm{lib: l, id: l.comms, Ranks: append([]int(nil), ranks...), Channels: DefaultChannels}
 	// The ring's connector wiring depends only on the rank list, so it
 	// is built once per communicator, like NCCL's transport setup.
-	c.ring = prim.BuildRing(l.Cluster, prim.Spec{Kind: prim.AllReduce, Ranks: c.Ranks, Count: 0, Type: mem.Float32}, fmt.Sprintf("comm%d", l.comms))
+	c.ring = prim.BuildRingOn(l.Net, prim.Spec{Kind: prim.AllReduce, Ranks: c.Ranks, Count: 0, Type: mem.Float32}, fmt.Sprintf("comm%d", l.comms))
 	return c
 }
 
@@ -116,7 +130,7 @@ func (c *Comm) Launch(p *sim.Process, stream *cudasim.Stream, rank int, spec pri
 	var x *prim.Executor
 	if spec.Algo == prim.AlgoHierarchical {
 		if c.hier == nil {
-			c.hier = prim.BuildHierFabric(c.lib.Cluster, c.Ranks, fmt.Sprintf("comm%d.hier", c.id))
+			c.hier = prim.BuildHierFabricOn(c.lib.Net, c.Ranks, fmt.Sprintf("comm%d.hier", c.id))
 		}
 		x = c.hier.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
 	} else {

@@ -3,6 +3,7 @@ package prim
 import (
 	"fmt"
 
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
@@ -89,9 +90,15 @@ type Executor struct {
 	// successor, the recv/send connectors of Fig. 5. Hierarchical
 	// executors add the intra-node mesh and leader-ring endpoints.
 	Ins, Outs []*mem.Connector
-	// OutPaths price transfers per send endpoint (OutPaths[i] matches
-	// Outs[i]).
-	OutPaths []topo.Path
+	// OutRoutes price transfers per send endpoint (OutRoutes[i] matches
+	// Outs[i]): the endpoint-to-endpoint Path plus the shared fabric
+	// links the transfer crosses, if any.
+	OutRoutes []fabric.Route
+	// Net, when non-nil, prices each send as a flow on the shared
+	// fabric (contending with concurrent transfers). When nil the
+	// executor sleeps Path.TransferTime directly — the legacy
+	// independent pricing, bit-identical to pre-fabric behavior.
+	Net *fabric.Network
 	// ComputeBW prices local reduce/copy work in bytes/second.
 	ComputeBW float64
 
@@ -120,15 +127,16 @@ type Executor struct {
 }
 
 // NewExecutor builds an executor for the participant at position pos,
-// wired to a single ring predecessor/successor connector pair.
+// wired to a single ring predecessor/successor connector pair, with
+// legacy independent transfer pricing (no shared fabric).
 func NewExecutor(spec Spec, pos int, sendBuf, recvBuf *mem.Buffer, prev, next *mem.Connector, nextPath topo.Path, computeBW float64) *Executor {
 	return newExecutorSeq(spec, pos, spec.SequenceFor(pos), sendBuf, recvBuf,
-		[]*mem.Connector{prev}, []*mem.Connector{next}, []topo.Path{nextPath}, computeBW)
+		[]*mem.Connector{prev}, []*mem.Connector{next}, []fabric.Route{{Path: nextPath}}, nil, computeBW)
 }
 
 // newExecutorSeq builds an executor over an explicit sequence and
 // endpoint set (the hierarchical fabric's constructor).
-func newExecutorSeq(spec Spec, pos int, seq *Sequence, sendBuf, recvBuf *mem.Buffer, ins, outs []*mem.Connector, outPaths []topo.Path, computeBW float64) *Executor {
+func newExecutorSeq(spec Spec, pos int, seq *Sequence, sendBuf, recvBuf *mem.Buffer, ins, outs []*mem.Connector, outRoutes []fabric.Route, net *fabric.Network, computeBW float64) *Executor {
 	x := &Executor{
 		Spec:      spec,
 		Pos:       pos,
@@ -137,7 +145,8 @@ func newExecutorSeq(spec Spec, pos int, seq *Sequence, sendBuf, recvBuf *mem.Buf
 		RecvBuf:   recvBuf,
 		Ins:       ins,
 		Outs:      outs,
-		OutPaths:  outPaths,
+		OutRoutes: outRoutes,
+		Net:       net,
 		ComputeBW: computeBW,
 	}
 	if x.Seq.useScratch && !spec.TimingOnly {
@@ -382,15 +391,21 @@ func (x *Executor) localCopy(p *sim.Process, a Action) {
 
 // sendHalf transmits the current round's slice of the action's send
 // segment (clipped to the in-flight block in ragged sequences),
-// charging serialization and latency on the path.
+// charging serialization and latency on the route — as a contending
+// flow on the shared fabric when one is attached, or at the path's
+// isolated TransferTime otherwise.
 func (x *Executor) sendHalf(p *sim.Process, a Action) {
 	sr := x.Seq.sendSlice(a, x.Round)
 	bytes := sr.len() * x.Spec.Type.Size()
-	path := x.OutPaths[a.SendConn]
+	route := x.OutRoutes[a.SendConn]
 	out := x.Outs[a.SendConn]
 	x.BytesSent += bytes
-	x.BytesSentBy.add(path.Transport, bytes)
-	p.Sleep(sim.Duration(path.TransferTime(bytes)))
+	x.BytesSentBy.add(route.Path.Transport, bytes)
+	if x.Net != nil {
+		x.Net.Transfer(p, route, bytes)
+	} else {
+		p.Sleep(sim.Duration(route.Path.TransferTime(bytes)))
+	}
 	if x.Spec.TimingOnly {
 		out.Write(p.Engine(), nil)
 		return
@@ -424,17 +439,36 @@ func (x *Executor) recvHalf(p *sim.Process, a Action) {
 // carries chunks from ring position i to position i+1 (mod n).
 type Ring struct {
 	Conns []*mem.Connector
-	Paths []topo.Path // Paths[i] prices position i -> i+1
+	// Routes[i] prices position i -> i+1.
+	Routes []fabric.Route
+	// Net is the shared fabric transfers contend on; nil selects the
+	// legacy independent pricing.
+	Net *fabric.Network
 }
 
-// BuildRing creates the ring connectors and paths for spec on cluster c.
+// BuildRing creates the ring connectors and routes for spec on cluster
+// c with legacy independent transfer pricing.
 func BuildRing(c *topo.Cluster, spec Spec, tag string) *Ring {
+	return buildRing(c, nil, spec, tag)
+}
+
+// BuildRingOn creates the ring connectors and routes for spec, pricing
+// transfers on net's fabric (net's cluster supplies the topology).
+func BuildRingOn(net *fabric.Network, spec Spec, tag string) *Ring {
+	return buildRing(net.Cluster(), net, spec, tag)
+}
+
+func buildRing(c *topo.Cluster, net *fabric.Network, spec Spec, tag string) *Ring {
 	n := spec.N()
-	r := &Ring{Conns: make([]*mem.Connector, n), Paths: make([]topo.Path, n)}
+	r := &Ring{Conns: make([]*mem.Connector, n), Routes: make([]fabric.Route, n), Net: net}
 	for i := 0; i < n; i++ {
 		next := (i + 1) % n
 		r.Conns[i] = mem.NewConnector(fmt.Sprintf("%s.conn%d->%d", tag, spec.Ranks[i], spec.Ranks[next]), ConnectorSlots)
-		r.Paths[i] = c.PathBetween(spec.Ranks[i], spec.Ranks[next])
+		if net != nil {
+			r.Routes[i] = net.RouteBetween(spec.Ranks[i], spec.Ranks[next])
+		} else {
+			r.Routes[i] = fabric.Route{Path: c.PathBetween(spec.Ranks[i], spec.Ranks[next])}
+		}
 	}
 	return r
 }
@@ -446,5 +480,6 @@ func (r *Ring) ExecutorFor(c *topo.Cluster, spec Spec, pos int, sendBuf, recvBuf
 	prev := r.Conns[mod(pos-1, n)]
 	next := r.Conns[pos]
 	bw := c.GPUs[spec.Ranks[pos]].Model.CopyBandwidth
-	return NewExecutor(spec, pos, sendBuf, recvBuf, prev, next, r.Paths[pos], bw)
+	return newExecutorSeq(spec, pos, spec.SequenceFor(pos), sendBuf, recvBuf,
+		[]*mem.Connector{prev}, []*mem.Connector{next}, []fabric.Route{r.Routes[pos]}, r.Net, bw)
 }

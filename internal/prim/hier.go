@@ -34,6 +34,7 @@ package prim
 import (
 	"fmt"
 
+	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
 	"dfccl/internal/topo"
 )
@@ -440,19 +441,41 @@ type HierFabric struct {
 	Grouping NodeGrouping
 	outs     [][]*mem.Connector
 	ins      [][]*mem.Connector
-	outPaths [][]topo.Path
+	// outRoutes[pos][i] prices sends on Outs endpoint i of position pos.
+	outRoutes [][]fabric.Route
+	// net is the shared fabric transfers contend on; nil selects the
+	// legacy independent pricing.
+	net *fabric.Network
 }
 
 // BuildHierFabric creates the hierarchical connector fabric for a rank
-// set on a cluster.
+// set on a cluster with legacy independent transfer pricing.
 func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
+	return buildHierFabric(c, nil, ranks, tag)
+}
+
+// BuildHierFabricOn creates the hierarchical connector fabric for a
+// rank set, pricing transfers on net's fabric (net's cluster supplies
+// the topology).
+func BuildHierFabricOn(net *fabric.Network, ranks []int, tag string) *HierFabric {
+	return buildHierFabric(net.Cluster(), net, ranks, tag)
+}
+
+func buildHierFabric(c *topo.Cluster, net *fabric.Network, ranks []int, tag string) *HierFabric {
 	g := GroupByNode(c, ranks)
 	n := len(ranks)
 	f := &HierFabric{
-		Grouping: g,
-		outs:     make([][]*mem.Connector, n),
-		ins:      make([][]*mem.Connector, n),
-		outPaths: make([][]topo.Path, n),
+		Grouping:  g,
+		outs:      make([][]*mem.Connector, n),
+		ins:       make([][]*mem.Connector, n),
+		outRoutes: make([][]fabric.Route, n),
+		net:       net,
+	}
+	routeBetween := func(a, b int) fabric.Route {
+		if net != nil {
+			return net.RouteBetween(a, b)
+		}
+		return fabric.Route{Path: c.PathBetween(a, b)}
 	}
 	for pos := range ranks {
 		sz := len(g.Members[g.NodeOf[pos]]) - 1
@@ -461,7 +484,7 @@ func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
 		}
 		f.outs[pos] = make([]*mem.Connector, sz)
 		f.ins[pos] = make([]*mem.Connector, sz)
-		f.outPaths[pos] = make([]topo.Path, sz)
+		f.outRoutes[pos] = make([]fabric.Route, sz)
 	}
 	for _, members := range g.Members {
 		for _, x := range members {
@@ -472,7 +495,7 @@ func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
 				conn := mem.NewConnector(fmt.Sprintf("%s.mesh%d->%d", tag, ranks[x], ranks[y]), ConnectorSlots)
 				f.outs[x][g.peerIdx(x, y)] = conn
 				f.ins[y][g.peerIdx(y, x)] = conn
-				f.outPaths[x][g.peerIdx(x, y)] = c.PathBetween(ranks[x], ranks[y])
+				f.outRoutes[x][g.peerIdx(x, y)] = routeBetween(ranks[x], ranks[y])
 			}
 		}
 	}
@@ -482,7 +505,7 @@ func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
 			conn := mem.NewConnector(fmt.Sprintf("%s.lring%d->%d", tag, ranks[la], ranks[lb]), ConnectorSlots)
 			f.outs[la][g.ringIdx(la)] = conn
 			f.ins[lb][g.ringIdx(lb)] = conn
-			f.outPaths[la][g.ringIdx(la)] = c.PathBetween(ranks[la], ranks[lb])
+			f.outRoutes[la][g.ringIdx(la)] = routeBetween(ranks[la], ranks[lb])
 		}
 	}
 	return f
@@ -493,5 +516,5 @@ func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
 func (f *HierFabric) ExecutorFor(c *topo.Cluster, spec Spec, pos int, sendBuf, recvBuf *mem.Buffer) *Executor {
 	seq := spec.HierSequenceFor(pos, f.Grouping)
 	bw := c.GPUs[spec.Ranks[pos]].Model.CopyBandwidth
-	return newExecutorSeq(spec, pos, seq, sendBuf, recvBuf, f.ins[pos], f.outs[pos], f.outPaths[pos], bw)
+	return newExecutorSeq(spec, pos, seq, sendBuf, recvBuf, f.ins[pos], f.outs[pos], f.outRoutes[pos], f.net, bw)
 }
