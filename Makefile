@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test test-race ci smoke doccheck bench
+.PHONY: all fmt vet build test test-race ci smoke doccheck bench chaos
 
 all: ci
 
@@ -35,11 +35,19 @@ doccheck:
 	$(GO) run ./cmd/doccheck
 
 # bench regenerates the machine-readable perf-trajectory snapshot
-# (BENCH_pr6.json): the all-to-all size × algorithm × shape × fabric
-# matrix. Deterministic — regenerating on an unchanged tree is a no-op
+# (BENCH_pr7.json): the all-to-all size × algorithm × shape × fabric
+# matrix plus the fault-injection scenarios with their chaos-overhead
+# column. Deterministic — regenerating on an unchanged tree is a no-op
 # diff, so CI can assert the committed snapshot is current.
 bench:
-	$(GO) run ./cmd/trainbench -fig a2abench -out BENCH_pr6.json
+	$(GO) run ./cmd/trainbench -fig a2abench -out BENCH_pr7.json
+
+# chaos runs the fault-injection gate: seeded kill/revive schedules
+# against live elastic DP/MoE/ZeRO workloads; exits non-zero unless
+# every fault surfaces as a typed error or a clean re-formation with
+# training bit-identical to the fault-free reference.
+chaos:
+	$(GO) run ./cmd/trainbench -fig chaos
 
 # smoke is the all-in-one gate: formatting, static checks (go vet), the
 # race-detector test pass, the godoc floor, and a minimal-iteration pass
@@ -55,4 +63,5 @@ smoke: fmt vet build test-race doccheck
 	$(GO) run ./cmd/trainbench -fig moe -iters 2 -trials 1 > /dev/null
 	$(GO) run ./cmd/trainbench -fig zero -iters 2 -trials 1 > /dev/null
 	$(GO) run ./cmd/trainbench -fig a2a > /dev/null
+	$(GO) run ./cmd/trainbench -fig chaos > /dev/null
 	@echo "smoke: all entry points OK"

@@ -16,8 +16,15 @@
 //	          gates)
 //	-fig a2abench
 //	          machine-readable benchmark matrix (sizes × algorithms ×
-//	          shapes × fabrics) written as JSON to -out, the perf-
-//	          trajectory snapshot (`make bench` → BENCH_pr6.json)
+//	          shapes × fabrics, plus a chaos-overhead column) written
+//	          as JSON to -out, the perf-trajectory snapshot
+//	          (`make bench` → BENCH_pr7.json)
+//	-fig chaos
+//	          fault-injection gate: seeded kill/revive schedules
+//	          against live DP, MoE, and ZeRO workloads; exits non-zero
+//	          unless every fault surfaces as a typed ErrRankLost abort
+//	          or a clean re-formation, with zero hangs and post-reform
+//	          training bit-identical to the fault-free reference
 //
 // Iteration counts default to paper-scale (200) for -fig 10/13; use
 // -iters to reduce for quick runs. -trials sets the disordered-
@@ -36,7 +43,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, or a2abench")
+	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, or chaos")
 	iters := flag.Int("iters", 0, "training iterations (0 = figure default)")
 	trials := flag.Int("trials", 5, "disordered trials for the moe/zero deadlock tally")
 	out := flag.String("out", "", "output file for -fig a2abench (default stdout)")
@@ -174,6 +181,15 @@ func main() {
 			err = os.WriteFile(*out, buf, 0o644)
 		}
 		check(err)
+	case "chaos":
+		n := defaultIters(*iters, 6)
+		rows, err := bench.Chaos(n)
+		fmt.Printf("chaos gate: seeded kill/revive schedules against live elastic workloads (%d iterations each)\n", n)
+		for _, r := range rows {
+			fmt.Println("  " + r.String())
+		}
+		check(err)
+		fmt.Println("chaos gates passed: every fault a typed abort or clean re-form, zero hangs, all scenarios bit-identical to the fault-free reference")
 	default:
 		check(fmt.Errorf("unknown -fig %q", *fig))
 	}

@@ -93,6 +93,11 @@ type (
 	// the wire traffic a collective's executor sent, reported through
 	// CollectiveStats.
 	TransportBytes = prim.TransportBytes
+	// RankLostError is the typed failure delivered through futures and
+	// callbacks when a participating rank is killed mid-run; it carries
+	// the collective ID and the departed ranks, and matches
+	// errors.Is(err, ErrRankLost). Recover with (*Collective).Reform.
+	RankLostError = core.RankLostError
 
 	// FabricNetwork prices the deployment's transfers: assign one to
 	// Config.Network. UnsharedFabric gives the legacy isolated-path
@@ -109,6 +114,12 @@ type (
 	// FabricTierSummary.
 	TierUtil = fabric.TierUtil
 )
+
+// ErrRankLost is the sentinel matched by errors.Is when a launch fails
+// because a rank left the group mid-run (KillRank: spot preemption,
+// hardware fault). Close the dead handle and Reform over the
+// survivors to retry.
+var ErrRankLost = core.ErrRankLost
 
 // Fabric constructors and helpers for Config.Network.
 var (
@@ -297,3 +308,18 @@ func (l *Library) Now() Duration { return Duration(l.engine.Now()) }
 // System exposes the underlying deployment for benchmarks and tools
 // that need device handles or daemon statistics.
 func (l *Library) System() *core.System { return l.sys }
+
+// KillRank removes a rank mid-run: every group it participates in
+// aborts (in-flight launches resolve with a RankLostError on all
+// member ranks, at the executor's preempt/resume checkpoints), and new
+// opens over rank sets containing it are refused. Survivors re-form
+// with (*Collective).Reform. Killing an already-lost rank is a no-op.
+func (l *Library) KillRank(rank int) { l.sys.KillRank(rank) }
+
+// ReviveRank returns a killed rank to the deployment; the next Init
+// builds it a fresh context. It fails while the dead rank's abort
+// drain is still in flight.
+func (l *Library) ReviveRank(rank int) error { return l.sys.ReviveRank(rank) }
+
+// RankLost reports whether a rank is currently killed.
+func (l *Library) RankLost(rank int) bool { return l.sys.RankLost(rank) }

@@ -68,7 +68,7 @@ func TestFacadeDisorderedOrdersComplete(t *testing.T) {
 			for _, c := range orders[rank] {
 				send := dfccl.NewBuffer(dfccl.Float32, 128)
 				recv := dfccl.NewBuffer(dfccl.Float32, 128)
-				if err := ctx.Run(p, c, send, recv, func() { completed[rank]++ }); err != nil {
+				if err := ctx.Run(p, c, send, recv, func(error) { completed[rank]++ }); err != nil {
 					t.Errorf("run: %v", err)
 					return
 				}

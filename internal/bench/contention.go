@@ -115,8 +115,9 @@ func contentionSweep(nodes, gpus int, oversubs []float64) ([]A2AContentionRow, e
 }
 
 // BenchCell is one row of the machine-readable benchmark matrix
-// (BENCH_pr6.json): an all-to-all size × shape × algorithm × fabric
-// cell with its end-to-end latency and transport byte split.
+// (BENCH_pr7.json): an all-to-all size × shape × algorithm × fabric
+// cell with its end-to-end latency and transport byte split, or a
+// fault-injection cell with its chaos-overhead column.
 type BenchCell struct {
 	// Figure tags the sweep this cell belongs to.
 	Figure string `json:"figure"`
@@ -136,13 +137,22 @@ type BenchCell struct {
 	// SHMBytes and RDMABytes split the wire traffic by transport.
 	SHMBytes  int `json:"shm_bytes"`
 	RDMABytes int `json:"rdma_bytes"`
+	// Workload tags chaos cells with their fault scenario ("" for
+	// a2abench cells).
+	Workload string `json:"workload,omitempty"`
+	// ChaosOverheadNs is the chaos-overhead column: faulted virtual
+	// runtime minus the fault-free runtime of the same training config
+	// (0 for a2abench cells).
+	ChaosOverheadNs int64 `json:"chaos_overhead_ns,omitempty"`
 }
 
-// A2ABenchMatrix generates the BENCH_pr6.json benchmark matrix:
+// A2ABenchMatrix generates the BENCH_pr7.json benchmark matrix:
 // uniform all-to-all at three per-pair sizes across the node shapes,
 // each priced under both algorithms on the unshared fabric and on a
-// 2:1-oversubscribed shared fabric. Deterministic by construction —
-// regenerating the file must be a no-op diff.
+// 2:1-oversubscribed shared fabric, followed by the fault-injection
+// scenarios with their chaos-overhead column (ChaosBenchCells).
+// Deterministic by construction — regenerating the file must be a
+// no-op diff.
 func A2ABenchMatrix() ([]BenchCell, error) {
 	const benchOversub = 2.0
 	var cells []BenchCell
@@ -180,5 +190,9 @@ func A2ABenchMatrix() ([]BenchCell, error) {
 			}
 		}
 	}
-	return cells, nil
+	chaosCells, err := ChaosBenchCells(6)
+	if err != nil {
+		return nil, err
+	}
+	return append(cells, chaosCells...), nil
 }

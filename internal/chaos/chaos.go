@@ -1,0 +1,447 @@
+// Package chaos is the fault-injection harness for elastic rank
+// membership: it runs seeded kill/revive schedules against live
+// data-carrying training workloads (data-parallel gradient AllReduce,
+// MoE token dispatch over AllToAllv with a runtime-gathered count
+// matrix, ZeRO-style ReduceScatter + AllGather) and verifies that every
+// fault surfaces as a typed core.ErrRankLost or a clean group
+// re-formation — never a hang, never silent corruption — and that every
+// committed training iteration is bit-identical to a serial fault-free
+// reference computed over the membership that committed it.
+//
+// The harness uses a restart-the-epoch protocol. Training proceeds in
+// attempts: an attempt runs iterations over a fixed membership until
+// either all iterations commit, a kill aborts the attempt's collectives
+// (every member's Future resolves with the typed error; the commit
+// barrier is poisoned so nobody blocks on the dead rank), or a revive
+// requests re-formation. Between attempts the controller re-forms the
+// group over the current survivors — re-opening the collectives through
+// the communicator pool, which rebuilds ring and HierFabric wiring for
+// the new shape — and restarts from the first uncommitted iteration.
+// Iterations are stateless functions of (membership, iteration), so a
+// retried iteration is idempotent and the per-iteration expected values
+// are exact: all payloads are small integers in float64, making
+// reductions order-independent and bit-exact.
+//
+// Hangs are converted into failures by the engine's MaxTime: a harness
+// bug or a lost wakeup surfaces as Report.Hang, not a stuck test.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dfccl/internal/core"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// EventKind distinguishes schedule events.
+type EventKind int
+
+const (
+	// Kill removes a rank mid-run (core.System.KillRank).
+	Kill EventKind = iota
+	// Revive returns a previously killed rank to the membership at the
+	// next attempt boundary (core.System.ReviveRank).
+	Revive
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == Kill {
+		return "kill"
+	}
+	return "revive"
+}
+
+// Event is one scheduled fault: at virtual time At from the start of
+// the run, Kind happens to Rank.
+type Event struct {
+	At   sim.Duration
+	Kind EventKind
+	Rank int
+}
+
+// Schedule is a time-ordered fault script.
+type Schedule []Event
+
+// Config describes one chaos run.
+type Config struct {
+	// Workload selects the training loop: "dp", "moe", or "zero".
+	Workload string
+	// Cluster is the simulated deployment.
+	Cluster *topo.Cluster
+	// Ranks is the initial membership (global GPU indices).
+	Ranks []int
+	// Iterations is the number of training iterations to commit.
+	Iterations int
+	// Algo selects the MoE dispatch algorithm (ring or hierarchical);
+	// ignored by the other workloads.
+	Algo prim.Algorithm
+	// Schedule is the fault script.
+	Schedule Schedule
+	// Layers is the DP gradient-tensor count (default 3).
+	Layers int
+	// Compute is the per-iteration compute sleep, giving scheduled
+	// faults a window to land mid-iteration (default 150µs).
+	Compute sim.Duration
+	// MaxVirtual bounds the run's virtual time so any hang becomes a
+	// reported failure (default 600 virtual seconds).
+	MaxVirtual sim.Duration
+}
+
+// Report is a chaos run's outcome.
+type Report struct {
+	// Workload echoes Config.Workload.
+	Workload string
+	// Attempts counts group formations (1 for a fault-free run).
+	Attempts int
+	// KillsApplied / KillsSkipped / RevivesApplied / RevivesSkipped
+	// count schedule events by whether they took effect (a kill is
+	// skipped when its target is already dead or was never initialized;
+	// a revive when its target is alive).
+	KillsApplied, KillsSkipped, RevivesApplied, RevivesSkipped int
+	// AbortedAttempts counts attempts ended by a typed ErrRankLost;
+	// InterruptedAttempts counts clean re-formations requested by a
+	// revive.
+	AbortedAttempts, InterruptedAttempts int
+	// TypedErrors counts futures/opens that resolved with ErrRankLost
+	// across all members and attempts.
+	TypedErrors int
+	// Committed is the number of committed iterations (== Iterations on
+	// success).
+	Committed int
+	// Trajectory records the membership that committed each iteration.
+	Trajectory [][]int
+	// Hashes fingerprints the lead member's verified output per
+	// committed iteration; RefHashes is the serial fault-free reference
+	// recomputed outside the simulation from Trajectory.
+	Hashes, RefHashes []uint64
+	// BitIdentical reports Hashes == RefHashes with full in-run
+	// element-wise verification also clean.
+	BitIdentical bool
+	// Elapsed is the run's total virtual time; a faulted run exceeds a
+	// fault-free run of the same config by the chaos overhead (aborted
+	// work plus re-formation cost).
+	Elapsed sim.Duration
+	// Hang is set when the run deadlocked, exceeded MaxVirtual, or
+	// livelocked past the attempt cap.
+	Hang bool
+	// Err holds the first fatal non-typed failure ("" on success).
+	Err string
+}
+
+// Ok reports the gate condition: no hang, no untyped error, all
+// iterations committed, and outputs bit-identical to the reference.
+func (r *Report) Ok() bool {
+	return !r.Hang && r.Err == "" && r.Committed > 0 && r.BitIdentical
+}
+
+// MembershipChanged reports whether the committed trajectory spans more
+// than one distinct membership — i.e. training provably continued
+// across a rank leave or join.
+func (r *Report) MembershipChanged() bool {
+	for i := 1; i < len(r.Trajectory); i++ {
+		if !sameMembers(r.Trajectory[i-1], r.Trajectory[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pbarrier is a poisonable generation barrier: a member that observes
+// an abort poisons it, releasing every blocked peer with a false
+// return so nobody waits on a rank that will never arrive.
+type pbarrier struct {
+	n, arrived, gen int
+	poisoned        bool
+	cond            *sim.Cond
+}
+
+func newPBarrier(n int) *pbarrier {
+	return &pbarrier{n: n, cond: sim.NewCond("chaos.barrier")}
+}
+
+func (b *pbarrier) Wait(p *sim.Process) bool {
+	if b.poisoned {
+		return false
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast(p.Engine())
+		return !b.poisoned
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait(p)
+	}
+	return !b.poisoned
+}
+
+func (b *pbarrier) Poison(e *sim.Engine) {
+	b.poisoned = true
+	b.cond.Broadcast(e)
+}
+
+// runState is the shared controller/worker state. All access happens
+// from simulated processes, which the engine serializes.
+type runState struct {
+	nextIt      int
+	aborted     bool // current attempt hit a typed error
+	interrupted bool // a revive requests clean re-formation
+	running     int
+	join        *sim.Cond
+	barA, barB  *pbarrier
+	pendRevive  []int
+	otherErr    error
+}
+
+func (st *runState) fail(e *sim.Engine, err error) {
+	if st.otherErr == nil {
+		st.otherErr = err
+	}
+	st.aborted = true
+	st.barA.Poison(e)
+	st.barB.Poison(e)
+}
+
+// Run executes the chaos scenario and returns its report. The returned
+// error is non-nil exactly when the report is not Ok (hang, untyped
+// error, or output divergence) — callers gating on chaos can bubble it
+// directly.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Layers <= 0 {
+		cfg.Layers = 3
+	}
+	if cfg.Compute <= 0 {
+		cfg.Compute = 150 * sim.Microsecond
+	}
+	if cfg.MaxVirtual <= 0 {
+		cfg.MaxVirtual = 600 * sim.Second
+	}
+	rep := &Report{Workload: cfg.Workload}
+	if cfg.Iterations <= 0 || len(cfg.Ranks) == 0 {
+		rep.Err = fmt.Sprintf("chaos: bad config: %d iterations over %v", cfg.Iterations, cfg.Ranks)
+		return rep, errors.New(rep.Err)
+	}
+	if _, err := newWorkload(cfg); err != nil {
+		rep.Err = err.Error()
+		return rep, err
+	}
+
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(cfg.MaxVirtual)
+	sys := core.NewSystem(e, cfg.Cluster, core.DefaultConfig())
+	st := &runState{join: sim.NewCond("chaos.join")}
+
+	initial := append([]int(nil), cfg.Ranks...)
+	sort.Ints(initial)
+
+	// Fault injector: fires the schedule at its virtual times,
+	// independent of attempt structure, so kills land mid-collective.
+	events := append(Schedule(nil), cfg.Schedule...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	e.Spawn("chaos.injector", func(p *sim.Process) {
+		for _, ev := range events {
+			if d := ev.At - p.Now().Sub(sim.Time(0)); d > 0 {
+				p.Sleep(d)
+			}
+			switch ev.Kind {
+			case Kill:
+				if sys.RankLost(ev.Rank) {
+					rep.KillsSkipped++
+					continue
+				}
+				sys.KillRank(ev.Rank)
+				if sys.RankLost(ev.Rank) {
+					rep.KillsApplied++
+				} else {
+					rep.KillsSkipped++ // never-initialized rank: no-op
+				}
+			case Revive:
+				if !sys.RankLost(ev.Rank) {
+					rep.RevivesSkipped++
+					continue
+				}
+				st.pendRevive = append(st.pendRevive, ev.Rank)
+				st.interrupted = true // re-form at next boundary
+			}
+		}
+	})
+
+	e.Spawn("chaos.controller", func(p *sim.Process) {
+		attemptCap := cfg.Iterations + 2*len(events) + 4
+		for st.nextIt < cfg.Iterations {
+			rep.Attempts++
+			if rep.Attempts > attemptCap {
+				rep.Hang = true
+				rep.Err = fmt.Sprintf("chaos: livelock: %d attempts for %d iterations", rep.Attempts, cfg.Iterations)
+				break
+			}
+			// Apply due revives (the rank's abort drain may still be in
+			// flight; ReviveRank refuses until it completes).
+			for _, rank := range st.pendRevive {
+				if !sys.RankLost(rank) {
+					continue
+				}
+				deadline := p.Now().Add(sim.Duration(5 * sim.Second))
+				for sys.ReviveRank(rank) != nil {
+					if p.Now().Sub(deadline) >= 0 {
+						st.otherErr = fmt.Errorf("chaos: revive of rank %d never drained", rank)
+						break
+					}
+					p.Sleep(5 * sim.Microsecond)
+				}
+				if !sys.RankLost(rank) {
+					rep.RevivesApplied++
+				}
+			}
+			st.pendRevive = nil
+			if st.otherErr != nil {
+				break
+			}
+			members := survivors(sys, initial)
+			if len(members) == 0 {
+				st.otherErr = errors.New("chaos: schedule killed every rank")
+				break
+			}
+			st.aborted, st.interrupted = false, false
+			st.barA, st.barB = newPBarrier(len(members)), newPBarrier(len(members))
+			st.running = len(members)
+			for pos, rank := range members {
+				pos, rank := pos, rank
+				e.Spawn(fmt.Sprintf("chaos.worker.%d", rank), func(p *sim.Process) {
+					runWorker(p, cfg, sys, st, rep, members, pos, rank)
+					st.running--
+					st.join.Broadcast(p.Engine())
+				})
+			}
+			for st.running > 0 {
+				st.join.Wait(p)
+			}
+			if st.aborted {
+				rep.AbortedAttempts++
+			} else if st.interrupted && st.nextIt < cfg.Iterations {
+				rep.InterruptedAttempts++
+			}
+			if st.otherErr != nil {
+				break
+			}
+		}
+		// Final teardown: destroy every surviving context so the
+		// pollers exit and the engine drains.
+		for _, rank := range survivors(sys, initial) {
+			sys.Init(p, rank).Destroy(p)
+		}
+	})
+
+	if err := e.Run(); err != nil {
+		rep.Hang = true
+		if rep.Err == "" {
+			rep.Err = fmt.Sprintf("chaos: %v (blocked: %v)", err, e.BlockedProcesses())
+		}
+	}
+	rep.Elapsed = e.Now().Sub(sim.Time(0))
+	rep.Committed = st.nextIt
+	if st.otherErr != nil && rep.Err == "" {
+		rep.Err = st.otherErr.Error()
+	}
+
+	// Serial fault-free reference over the committed trajectory,
+	// computed outside the simulation.
+	w, _ := newWorkload(cfg)
+	rep.BitIdentical = len(rep.Hashes) == rep.Committed && rep.Committed == cfg.Iterations && st.otherErr == nil
+	for it, membersAt := range rep.Trajectory {
+		ref := w.refHash(membersAt, it)
+		rep.RefHashes = append(rep.RefHashes, ref)
+		if it >= len(rep.Hashes) || rep.Hashes[it] != ref {
+			rep.BitIdentical = false
+		}
+	}
+	if !rep.Ok() {
+		if rep.Err == "" {
+			rep.Err = fmt.Sprintf("chaos: committed %d/%d iterations, bit-identical=%v", rep.Committed, cfg.Iterations, rep.BitIdentical)
+		}
+		return rep, errors.New(rep.Err)
+	}
+	return rep, nil
+}
+
+// survivors returns the members of initial not currently lost.
+func survivors(sys *core.System, initial []int) []int {
+	var out []int
+	for _, r := range initial {
+		if !sys.RankLost(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// runWorker is one member's attempt loop: open the workload's
+// collectives over this attempt's membership, run iterations from the
+// shared cursor, verify every element, and commit through the
+// poisonable barriers. Any typed ErrRankLost aborts the attempt; any
+// other error is fatal to the run.
+func runWorker(p *sim.Process, cfg Config, sys *core.System, st *runState, rep *Report, members []int, pos, rank int) {
+	e := p.Engine()
+	w, _ := newWorkload(cfg)
+	rc := sys.Init(p, rank)
+	handle := func(err error) {
+		if errors.Is(err, core.ErrRankLost) {
+			rep.TypedErrors++
+			st.aborted = true
+			st.barA.Poison(e)
+			st.barB.Poison(e)
+			return
+		}
+		st.fail(e, err)
+	}
+	if err := w.setup(p, rc, members); err != nil {
+		handle(err)
+	} else {
+		for !st.aborted && !st.interrupted && st.nextIt < cfg.Iterations {
+			it := st.nextIt
+			p.Sleep(cfg.Compute)
+			hash, err := w.iter(p, rc, members, pos, it)
+			if err != nil {
+				handle(err)
+				break
+			}
+			if !st.barA.Wait(p) {
+				break
+			}
+			if pos == 0 {
+				rep.Trajectory = append(rep.Trajectory, append([]int(nil), members...))
+				rep.Hashes = append(rep.Hashes, hash)
+				st.nextIt++
+			}
+			if !st.barB.Wait(p) {
+				break
+			}
+		}
+	}
+	// Teardown: a dead rank's registrations are auto-released by its
+	// exiting poller; live ranks drain any aborted in-flight runs and
+	// close their handles so the pool can re-form the group.
+	if !sys.RankLost(rank) {
+		rc.WaitAll(p)
+		w.teardown(p)
+	}
+}

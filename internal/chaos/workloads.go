@@ -1,0 +1,390 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"dfccl/internal/core"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+)
+
+// workload is one member's view of an elastic training loop. setup
+// opens the attempt's persistent collectives over the given membership;
+// iter runs one stateless training iteration (launch, wait, verify
+// every element) and returns the FNV-1a fingerprint of this member's
+// verified outputs; refHash computes, without any simulation, the
+// fingerprint the membership's lead (pos 0) member must produce — the
+// serial fault-free reference. Iterations are pure functions of
+// (membership, iteration), so retrying one after an abort is idempotent
+// and reductions over small-integer float64 payloads are bit-exact.
+type workload interface {
+	setup(p *sim.Process, rc *core.RankContext, members []int) error
+	iter(p *sim.Process, rc *core.RankContext, members []int, pos, it int) (uint64, error)
+	refHash(members []int, it int) uint64
+	teardown(p *sim.Process)
+}
+
+// newWorkload builds the configured workload; it validates
+// cfg.Workload.
+func newWorkload(cfg Config) (workload, error) {
+	switch cfg.Workload {
+	case "dp":
+		return &dpWorkload{layers: cfg.Layers}, nil
+	case "moe":
+		return &moeWorkload{algo: cfg.Algo}, nil
+	case "zero":
+		return &zeroWorkload{}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown workload %q", cfg.Workload)
+	}
+}
+
+// FNV-1a over IEEE-754 bits, element order fixed by the caller.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvAdd(h uint64, v float64) uint64 {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		h ^= bits >> (8 * i) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// ---- data-parallel gradient AllReduce ----
+
+// dpGrad is rank r's local gradient for element i of layer l at
+// iteration it: small integers, so cross-rank sums are exact.
+func dpGrad(r, l, it, i int) float64 {
+	return float64((r*7+l*5+it*3+i)%9 - 4)
+}
+
+func dpLayerCount(l int) int { return 8 + 4*l }
+
+type dpWorkload struct {
+	layers  int
+	handles []*core.Collective
+	sends   []*mem.Buffer
+	recvs   []*mem.Buffer
+}
+
+func (w *dpWorkload) setup(p *sim.Process, rc *core.RankContext, members []int) error {
+	for l := 0; l < w.layers; l++ {
+		count := dpLayerCount(l)
+		h, err := rc.Open(prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float64, Op: mem.Sum, Ranks: members})
+		if err != nil {
+			return err
+		}
+		w.handles = append(w.handles, h)
+		w.sends = append(w.sends, mem.NewBuffer(mem.DeviceSpace, mem.Float64, count))
+		w.recvs = append(w.recvs, mem.NewBuffer(mem.DeviceSpace, mem.Float64, count))
+	}
+	return nil
+}
+
+func (w *dpWorkload) iter(p *sim.Process, rc *core.RankContext, members []int, pos, it int) (uint64, error) {
+	rank := members[pos]
+	futs := make([]*core.Future, 0, w.layers)
+	for l, h := range w.handles {
+		for i := 0; i < w.sends[l].Len(); i++ {
+			w.sends[l].SetFloat64(i, dpGrad(rank, l, it, i))
+		}
+		fut, err := h.Launch(p, w.sends[l], w.recvs[l])
+		if err != nil {
+			for _, f := range futs {
+				f.Wait(p)
+			}
+			return 0, err
+		}
+		futs = append(futs, fut)
+	}
+	var firstErr error
+	for _, f := range futs {
+		if err := f.Wait(p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	h := uint64(fnvOffset)
+	for l := range w.handles {
+		for i := 0; i < w.recvs[l].Len(); i++ {
+			want := 0.0
+			for _, m := range members {
+				want += dpGrad(m, l, it, i)
+			}
+			got := w.recvs[l].Float64At(i)
+			if got != want {
+				return 0, fmt.Errorf("chaos: dp layer %d elem %d = %v, want %v (rank %d it %d)", l, i, got, want, rank, it)
+			}
+			h = fnvAdd(h, got)
+		}
+	}
+	return h, nil
+}
+
+func (w *dpWorkload) refHash(members []int, it int) uint64 {
+	h := uint64(fnvOffset)
+	for l := 0; l < w.layers; l++ {
+		for i := 0; i < dpLayerCount(l); i++ {
+			sum := 0.0
+			for _, m := range members {
+				sum += dpGrad(m, l, it, i)
+			}
+			h = fnvAdd(h, sum)
+		}
+	}
+	return h
+}
+
+func (w *dpWorkload) teardown(p *sim.Process) {
+	for _, h := range w.handles {
+		h.Close(p)
+	}
+	w.handles = nil
+}
+
+// ---- MoE token dispatch over AllToAllv with runtime count gather ----
+
+// moeTokens is the number of tokens rank src routes to the expert on
+// rank dst at an iteration — the routing function every rank evaluates
+// only for its own row; the full matrix exists nowhere until the
+// runtime all-gather assembles it.
+func moeTokens(src, dst, it int) int {
+	return (src*3 + dst*5 + it*7) % 4
+}
+
+// moeElemsPerTok is the per-token payload in float64 elements.
+const moeElemsPerTok = 2
+
+// moeElem is token element k of the (src → dst) block.
+func moeElem(src, dst, it, k int) float64 {
+	return float64(src*1000 + dst*100 + (it+k)%10)
+}
+
+type moeWorkload struct {
+	algo       prim.Algorithm
+	counts     *core.Collective
+	countsSend *mem.Buffer
+	countsRecv *mem.Buffer
+}
+
+func (w *moeWorkload) setup(p *sim.Process, rc *core.RankContext, members []int) error {
+	n := len(members)
+	h, err := rc.Open(prim.Spec{Kind: prim.AllGather, Count: n, Type: mem.Float64, Ranks: members})
+	if err != nil {
+		return err
+	}
+	w.counts = h
+	w.countsSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, n)
+	w.countsRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, n*n)
+	return nil
+}
+
+func (w *moeWorkload) iter(p *sim.Process, rc *core.RankContext, members []int, pos, it int) (uint64, error) {
+	n := len(members)
+	rank := members[pos]
+	// Phase 1: all-gather the routing count matrix. Each member
+	// contributes only its own row; after the gather every member holds
+	// the full matrix and can size the ragged dispatch.
+	for j := 0; j < n; j++ {
+		w.countsSend.SetFloat64(j, float64(moeTokens(rank, members[j], it)))
+	}
+	fut, err := w.counts.Launch(p, w.countsSend, w.countsRecv)
+	if err != nil {
+		return 0, err
+	}
+	if err := fut.Wait(p); err != nil {
+		return 0, err
+	}
+	counts := make([][]int, n)
+	for i := 0; i < n; i++ {
+		counts[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			toks := int(w.countsRecv.Float64At(i*n + j))
+			if want := moeTokens(members[i], members[j], it); toks != want {
+				return 0, fmt.Errorf("chaos: moe gathered count[%d][%d] = %d, want %d (members %v it %d)", i, j, toks, want, members, it)
+			}
+			counts[i][j] = toks * moeElemsPerTok
+		}
+	}
+	// Phase 2: ragged dispatch sized by the gathered matrix.
+	spec := prim.Spec{Kind: prim.AllToAllv, Type: mem.Float64, Ranks: members, Counts: counts, ChunkElems: 4, Algo: w.algo}
+	disp, err := rc.Open(spec)
+	if err != nil {
+		return 0, err
+	}
+	sendCount, recvCount := prim.BufferCountsFor(spec, pos)
+	send := mem.NewBuffer(mem.DeviceSpace, mem.Float64, sendCount)
+	recv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, recvCount)
+	off := 0
+	for j := 0; j < n; j++ {
+		for k := 0; k < counts[pos][j]; k++ {
+			send.SetFloat64(off+k, moeElem(rank, members[j], it, k))
+		}
+		off += counts[pos][j]
+	}
+	fut, err = disp.Launch(p, send, recv)
+	if err == nil {
+		err = fut.Wait(p)
+	}
+	if err != nil {
+		disp.Close(p)
+		return 0, err
+	}
+	h := uint64(fnvOffset)
+	off = 0
+	for i := 0; i < n; i++ {
+		for k := 0; k < counts[i][pos]; k++ {
+			got := recv.Float64At(off + k)
+			if want := moeElem(members[i], rank, it, k); got != want {
+				return 0, fmt.Errorf("chaos: moe recv block from %d elem %d = %v, want %v (rank %d it %d)", members[i], k, got, want, rank, it)
+			}
+			h = fnvAdd(h, got)
+		}
+		off += counts[i][pos]
+	}
+	if err := disp.Close(p); err != nil {
+		return 0, err
+	}
+	return h, nil
+}
+
+func (w *moeWorkload) refHash(members []int, it int) uint64 {
+	h := uint64(fnvOffset)
+	lead := members[0]
+	for _, src := range members {
+		toks := moeTokens(src, lead, it)
+		for k := 0; k < toks*moeElemsPerTok; k++ {
+			h = fnvAdd(h, moeElem(src, lead, it, k))
+		}
+	}
+	return h
+}
+
+func (w *moeWorkload) teardown(p *sim.Process) {
+	if w.counts != nil {
+		w.counts.Close(p)
+		w.counts = nil
+	}
+}
+
+// ---- ZeRO-style sharded exchange: ReduceScatter + AllGather ----
+
+// zeroShardElems is the per-member parameter shard size.
+const zeroShardElems = 4
+
+// zGrad is rank r's local gradient for element i of the full vector.
+func zGrad(r, it, i int) float64 { return float64((r*5+it*3+i)%7 - 3) }
+
+// zShard is the deterministic shard value rank r contributes to the
+// parameter all-gather.
+func zShard(r, it, i int) float64 { return float64((r*11+it*2+i)%13 - 6) }
+
+type zeroWorkload struct {
+	rs, ag         *core.Collective
+	rsSend, rsRecv *mem.Buffer
+	agSend, agRecv *mem.Buffer
+}
+
+func (w *zeroWorkload) setup(p *sim.Process, rc *core.RankContext, members []int) error {
+	n := len(members)
+	full := zeroShardElems * n
+	rs, err := rc.Open(prim.Spec{Kind: prim.ReduceScatter, Count: full, Type: mem.Float64, Op: mem.Sum, Ranks: members})
+	if err != nil {
+		return err
+	}
+	ag, err := rc.Open(prim.Spec{Kind: prim.AllGather, Count: zeroShardElems, Type: mem.Float64, Ranks: members})
+	if err != nil {
+		rs.Close(p)
+		return err
+	}
+	w.rs, w.ag = rs, ag
+	w.rsSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, full)
+	w.rsRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, zeroShardElems)
+	w.agSend = mem.NewBuffer(mem.DeviceSpace, mem.Float64, zeroShardElems)
+	w.agRecv = mem.NewBuffer(mem.DeviceSpace, mem.Float64, full)
+	return nil
+}
+
+func (w *zeroWorkload) iter(p *sim.Process, rc *core.RankContext, members []int, pos, it int) (uint64, error) {
+	rank := members[pos]
+	for i := 0; i < w.rsSend.Len(); i++ {
+		w.rsSend.SetFloat64(i, zGrad(rank, it, i))
+	}
+	for i := 0; i < zeroShardElems; i++ {
+		w.agSend.SetFloat64(i, zShard(rank, it, i))
+	}
+	futRS, err := w.rs.Launch(p, w.rsSend, w.rsRecv)
+	if err != nil {
+		return 0, err
+	}
+	futAG, err := w.ag.Launch(p, w.agSend, w.agRecv)
+	if err != nil {
+		futRS.Wait(p)
+		return 0, err
+	}
+	errRS, errAG := futRS.Wait(p), futAG.Wait(p)
+	if errRS != nil {
+		return 0, errRS
+	}
+	if errAG != nil {
+		return 0, errAG
+	}
+	h := uint64(fnvOffset)
+	for i := 0; i < zeroShardElems; i++ {
+		want := 0.0
+		for _, m := range members {
+			want += zGrad(m, it, pos*zeroShardElems+i)
+		}
+		got := w.rsRecv.Float64At(i)
+		if got != want {
+			return 0, fmt.Errorf("chaos: zero grad shard elem %d = %v, want %v (rank %d it %d)", i, got, want, rank, it)
+		}
+		h = fnvAdd(h, got)
+	}
+	for j := range members {
+		for i := 0; i < zeroShardElems; i++ {
+			got := w.agRecv.Float64At(j*zeroShardElems + i)
+			if want := zShard(members[j], it, i); got != want {
+				return 0, fmt.Errorf("chaos: zero gathered shard %d elem %d = %v, want %v (rank %d it %d)", j, i, got, want, rank, it)
+			}
+			h = fnvAdd(h, got)
+		}
+	}
+	return h, nil
+}
+
+func (w *zeroWorkload) refHash(members []int, it int) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < zeroShardElems; i++ {
+		sum := 0.0
+		for _, m := range members {
+			sum += zGrad(m, it, i) // pos 0's shard starts at offset 0
+		}
+		h = fnvAdd(h, sum)
+	}
+	for _, m := range members {
+		for i := 0; i < zeroShardElems; i++ {
+			h = fnvAdd(h, zShard(m, it, i))
+		}
+	}
+	return h
+}
+
+func (w *zeroWorkload) teardown(p *sim.Process) {
+	if w.rs != nil {
+		w.rs.Close(p)
+		w.rs = nil
+	}
+	if w.ag != nil {
+		w.ag.Close(p)
+		w.ag = nil
+	}
+}

@@ -88,7 +88,9 @@ type Collective struct {
 // the v2 replacement for dfcclRegister*. All participating ranks must
 // open the same collective (same spec, same effective ID).
 func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, error) {
-	if r.destroyed {
+	if r.destroyed && !r.lost {
+		// A lost rank falls through to registration, which refuses it
+		// with the typed *RankLostError.
 		return nil, fmt.Errorf("core: rank %d context destroyed", r.Rank)
 	}
 	var o openOpts
@@ -144,6 +146,9 @@ func (c *Collective) preflight(send, recv *mem.Buffer) error {
 	if c.closed {
 		return fmt.Errorf("core: collective %d launched after Close on rank %d", c.id, c.r.Rank)
 	}
+	if c.r.lost {
+		return &RankLostError{CollID: c.id, Lost: []int{c.r.Rank}}
+	}
 	if c.r.destroyed {
 		return fmt.Errorf("core: rank %d context destroyed", c.r.Rank)
 	}
@@ -160,8 +165,8 @@ func (c *Collective) preflight(send, recv *mem.Buffer) error {
 // + primitive execution).
 func (c *Collective) Launch(p *sim.Process, send, recv *mem.Buffer) (*Future, error) {
 	f := newFuture(c.r.sys.Engine, 1)
-	if err := c.LaunchCB(p, send, recv, func() {
-		f.completeOne(c.r.CoreExecTime(c.id))
+	if err := c.LaunchCB(p, send, recv, func(err error) {
+		f.completeOne(c.r.CoreExecTime(c.id), err)
 	}); err != nil {
 		return nil, err
 	}
@@ -245,6 +250,99 @@ func (c *Collective) Close(p *sim.Process) error {
 	return nil
 }
 
+// LostRanks returns the departed ranks that killed this collective's
+// group, ascending; nil while the group is healthy (or after Close).
+func (c *Collective) LostRanks() []int {
+	if c.closed {
+		return nil
+	}
+	t, ok := c.r.tasks[c.id]
+	if !ok || t.group.abortErr == nil {
+		return nil
+	}
+	return append([]int(nil), t.group.abortErr.Lost...)
+}
+
+// Reform is the retry path after a rank loss: it closes this dead
+// handle and re-opens the same collective over the surviving ranks,
+// returning the new handle. The survivor spec keeps the kind,
+// algorithm, priority, and grid; an AllToAllv count matrix shrinks to
+// the survivor submatrix, and a Reduce/Broadcast root is re-indexed to
+// the same global rank (Reform fails if the root itself died — there
+// is no one to re-form around). Every surviving rank must call Reform
+// (the re-open converges on the same auto-assigned collective ID the
+// way Open does), and must first drain its outstanding futures — they
+// resolve with the typed error — because Close refuses handles with
+// runs in flight. Reform on a healthy handle is an error.
+func (c *Collective) Reform(p *sim.Process) (*Collective, error) {
+	if c.closed {
+		return nil, fmt.Errorf("core: collective %d reformed after Close on rank %d", c.id, c.r.Rank)
+	}
+	t, ok := c.r.tasks[c.id]
+	if !ok {
+		return nil, fmt.Errorf("core: collective %d not registered on rank %d", c.id, c.r.Rank)
+	}
+	g := t.group
+	if g.abortErr == nil {
+		return nil, fmt.Errorf("core: collective %d is healthy; Reform needs a rank loss", c.id)
+	}
+	spec, err := survivorSpec(g.Spec, g.abortErr.Lost)
+	if err != nil {
+		return nil, err
+	}
+	priority, grid := g.Priority, g.Grid
+	if err := c.Close(p); err != nil {
+		return nil, err
+	}
+	return c.r.Open(spec, WithPriority(priority), WithGrid(grid))
+}
+
+// survivorSpec derives the re-formation spec: the original with the
+// lost ranks (ascending) removed, the count matrix shrunk to the
+// survivor submatrix, and the root re-indexed.
+func survivorSpec(spec prim.Spec, lost []int) (prim.Spec, error) {
+	isLost := make(map[int]bool, len(lost))
+	for _, r := range lost {
+		isLost[r] = true
+	}
+	ns := spec
+	var ranks, keep []int
+	for i, r := range spec.Ranks {
+		if !isLost[r] {
+			ranks = append(ranks, r)
+			keep = append(keep, i)
+		}
+	}
+	if len(ranks) == 0 {
+		return prim.Spec{}, fmt.Errorf("core: no surviving ranks to re-form over")
+	}
+	ns.Ranks = ranks
+	if spec.Counts != nil {
+		counts := make([][]int, len(keep))
+		for i, pi := range keep {
+			row := make([]int, len(keep))
+			for j, pj := range keep {
+				row[j] = spec.Counts[pi][pj]
+			}
+			counts[i] = row
+		}
+		ns.Counts = counts
+	}
+	if spec.Kind == prim.Reduce || spec.Kind == prim.Broadcast {
+		rootRank := spec.Ranks[spec.Root]
+		if isLost[rootRank] {
+			return prim.Spec{}, fmt.Errorf("core: %v root rank %d was lost; cannot re-form", spec.Kind, rootRank)
+		}
+		for i, r := range ranks {
+			if r == rootRank {
+				ns.Root = i
+				break
+			}
+		}
+	}
+	return ns, nil
+}
+
 // Future is the awaitable result of Launch (or of a Batch of
 // launches): completion, error state, and core-execution timing.
 type Future struct {
@@ -261,10 +359,14 @@ func newFuture(e *sim.Engine, n int) *Future {
 }
 
 // completeOne records one completed run; the future resolves when all
-// joined runs have completed. It runs in poller context.
-func (f *Future) completeOne(core sim.Duration) {
+// joined runs have completed. It runs in poller context. The first
+// non-nil error sticks (a batch reports one representative failure).
+func (f *Future) completeOne(core sim.Duration, err error) {
 	if core > f.coreExec {
 		f.coreExec = core
+	}
+	if err != nil && f.err == nil {
+		f.err = err
 	}
 	f.pending--
 	if f.pending <= 0 {
@@ -273,11 +375,11 @@ func (f *Future) completeOne(core sim.Duration) {
 }
 
 // Wait blocks the calling process until the future resolves and
-// returns its error state. Today every failure mode of a launch is
-// synchronous (Launch/Batch return the error before a future
-// escapes), so Wait returns nil; the error slot is part of the future
-// contract so that asynchronous failures — e.g. transport faults in a
-// future fabric model — resolve through the same surface.
+// returns its error state: nil on normal completion, or the typed
+// *RankLostError (errors.Is(err, ErrRankLost)) when a participating
+// rank was killed while the run was in flight. On error the recv
+// buffer's contents are unspecified; Close the handle and Reform over
+// the survivors to retry.
 func (f *Future) Wait(p *sim.Process) error {
 	for f.pending > 0 {
 		f.cond.Wait(p)
@@ -334,8 +436,8 @@ func Batch(p *sim.Process, items ...BatchItem) (*Future, error) {
 	f := newFuture(items[0].C.r.sys.Engine, len(items))
 	for _, it := range items {
 		it := it
-		if err := it.C.LaunchCB(p, it.Send, it.Recv, func() {
-			f.completeOne(it.C.r.CoreExecTime(it.C.id))
+		if err := it.C.LaunchCB(p, it.Send, it.Recv, func(err error) {
+			f.completeOne(it.C.r.CoreExecTime(it.C.id), err)
 		}); err != nil {
 			// Unreachable after preflight; surface it rather than hang.
 			return nil, err

@@ -56,7 +56,7 @@ func TestSingleAllReduceCompletes(t *testing.T) {
 		s.Fill(float64(r.Rank + 1))
 		results[r.Rank] = d
 		var completed bool
-		if err := r.Run(p, 1, s, d, func() { completed = true }); err != nil {
+		if err := r.Run(p, 1, s, d, func(error) { completed = true }); err != nil {
 			t.Errorf("run: %v", err)
 			return
 		}
@@ -269,7 +269,7 @@ func TestPipelinedRunsWithoutWait(t *testing.T) {
 			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, 64)
 			s.Fill(float64(i))
 			rank := r.Rank
-			if err := r.Run(p, 3, s, d, func() { order[rank] = append(order[rank], i) }); err != nil {
+			if err := r.Run(p, 3, s, d, func(error) { order[rank] = append(order[rank], i) }); err != nil {
 				t.Errorf("run: %v", err)
 				return
 			}
@@ -575,7 +575,7 @@ func TestPriorityOrderingPrefersHighPriority(t *testing.T) {
 		s1, d1 := mk()
 		s2, d2 := mk()
 		record := func(id int) Callback {
-			return func() {
+			return func(error) {
 				if firstDone[rank] == 0 {
 					firstDone[rank] = id
 				}

@@ -222,6 +222,22 @@ func (r *RankContext) executeTask(p *sim.Process, t *collTask) (bool, bool) {
 			r.saveContext(p, t)
 			r.trace(p, t.ID(), TracePreempt)
 			return false, progressed
+		case prim.Aborted:
+			// A rank loss killed the group (the executor observed it at
+			// a step/wait checkpoint, touching no connector state).
+			// Resolve every pending run to a CQE; the poller translates
+			// them into the group's typed error. The same drain runs on
+			// the lost rank's own daemon, so its futures resolve too.
+			n := len(t.runs)
+			t.runs = nil
+			t.prepared = false
+			t.dirty = false
+			t.execStarted = false
+			for i := 0; i < n; i++ {
+				r.writeCQE(p, t.ID())
+			}
+			r.trace(p, t.ID(), TraceComplete)
+			return true, true
 		}
 	}
 }

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// TestKillRankAbortsInFlightAndReforms is the elastic-membership
+// acceptance path at the core layer: four ranks launch a data-carrying
+// all-reduce, one rank is killed mid-flight, every member's future
+// resolves with the typed ErrRankLost (no hang), the survivors Reform
+// onto the three-rank group, relaunch, and verify the survivor sum
+// bit-exactly.
+func TestKillRankAbortsInFlightAndReforms(t *testing.T) {
+	const n, count, victim = 4, 1 << 16, 2
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(300 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(n), DefaultConfig())
+	ranks := []int{0, 1, 2, 3}
+
+	killedErrs := make([]error, n)
+	reformedSums := make([]float64, n)
+	for i := range reformedSums {
+		reformedSums[i] = -1
+	}
+
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn("elastic", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(lifecycleSpec(count, ranks), WithCollID(7))
+			if err != nil {
+				t.Errorf("rank %d open: %v", rank, err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+			s.Fill(float64(rank + 1))
+			fut, err := coll.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("rank %d launch: %v", rank, err)
+				return
+			}
+			killedErrs[rank] = fut.Wait(p)
+			if rank == victim {
+				return // dead rank: nothing more to do
+			}
+			if got := coll.LostRanks(); len(got) != 1 || got[0] != victim {
+				t.Errorf("rank %d LostRanks = %v, want [%d]", rank, got, victim)
+			}
+			// Relaunching on the dead group fails synchronously, typed.
+			if _, err := coll.Launch(p, s, d); !errors.Is(err, ErrRankLost) {
+				t.Errorf("rank %d relaunch on dead group: err = %v, want ErrRankLost", rank, err)
+			}
+			re, err := coll.Reform(p)
+			if err != nil {
+				t.Errorf("rank %d reform: %v", rank, err)
+				return
+			}
+			s.Fill(float64(rank + 1))
+			fut2, err := re.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("rank %d relaunch: %v", rank, err)
+				return
+			}
+			if err := fut2.Wait(p); err != nil {
+				t.Errorf("rank %d reformed wait: %v", rank, err)
+				return
+			}
+			reformedSums[rank] = d.Float64At(0)
+			if err := re.Close(p); err != nil {
+				t.Errorf("rank %d close: %v", rank, err)
+			}
+			rc.Destroy(p)
+		})
+	}
+	e.Spawn("chaos", func(p *sim.Process) {
+		p.Sleep(30 * sim.Microsecond)
+		sys.KillRank(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v (blocked: %v)", err, e.BlockedProcesses())
+	}
+	// 1+2+4 (ranks 0,1,3 contribute rank+1): the survivor sum.
+	const wantSum = 1 + 2 + 4
+	for rank := 0; rank < n; rank++ {
+		if !errors.Is(killedErrs[rank], ErrRankLost) {
+			t.Errorf("rank %d aborted future err = %v, want ErrRankLost", rank, killedErrs[rank])
+		}
+		var rle *RankLostError
+		if errors.As(killedErrs[rank], &rle) {
+			if rle.CollID != 7 || len(rle.Lost) != 1 || rle.Lost[0] != victim {
+				t.Errorf("rank %d RankLostError = %+v, want coll 7 lost [%d]", rank, rle, victim)
+			}
+		}
+		if rank == victim {
+			continue
+		}
+		if reformedSums[rank] != wantSum {
+			t.Errorf("rank %d reformed sum = %v, want %v", rank, reformedSums[rank], wantSum)
+		}
+	}
+	if got := sys.NumRegistered(); got != 0 {
+		t.Fatalf("NumRegistered = %d after full teardown, want 0", got)
+	}
+	if !sys.RankLost(victim) {
+		t.Fatalf("RankLost(%d) = false after kill", victim)
+	}
+}
+
+// TestOpenOverLostRankRefused pins the registration fast-path: a new
+// open whose rank set contains a killed rank fails with the typed
+// error, and succeeds again after ReviveRank + Init.
+func TestOpenOverLostRankRefused(t *testing.T) {
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	e.Spawn("driver", func(p *sim.Process) {
+		r0 := sys.Init(p, 0)
+		sys.Init(p, 1)
+		sys.KillRank(1)
+		if _, err := r0.Open(lifecycleSpec(16, []int{0, 1}), WithCollID(5)); !errors.Is(err, ErrRankLost) {
+			t.Errorf("open over lost rank: err = %v, want ErrRankLost", err)
+		}
+		if err := sys.ReviveRank(1); err != nil {
+			t.Errorf("revive: %v", err)
+		}
+		if sys.RankLost(1) {
+			t.Error("RankLost(1) still true after revive")
+		}
+		r1 := sys.Init(p, 1)
+		c0, err := r0.Open(lifecycleSpec(16, []int{0, 1}), WithCollID(5))
+		if err != nil {
+			t.Errorf("open after revive: %v", err)
+			return
+		}
+		if err := c0.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		r0.Destroy(p)
+		r1.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestNoGoroutineLeakOnMidFlightAbort pins satellite 4: every sim
+// process is a real goroutine parked on a resume channel, so a future
+// that never completes after an abort — or a poller that never observes
+// its destroyed flag — is a measurable goroutine leak. After a
+// kill-mid-flight run drains cleanly the engine must report zero live
+// processes and the runtime goroutine count must return to baseline.
+func TestNoGoroutineLeakOnMidFlightAbort(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	const n, count, victim = 3, 1 << 14, 1
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(120 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(n), DefaultConfig())
+	ranks := []int{0, 1, 2}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn("leak", func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(lifecycleSpec(count, ranks), WithCollID(3))
+			if err != nil {
+				t.Errorf("rank %d open: %v", rank, err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count)
+			s.Fill(1)
+			fut, err := coll.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("rank %d launch: %v", rank, err)
+				return
+			}
+			if err := fut.Wait(p); !errors.Is(err, ErrRankLost) {
+				t.Errorf("rank %d wait err = %v, want ErrRankLost", rank, err)
+			}
+			if rank == victim {
+				return
+			}
+			if err := coll.Close(p); err != nil {
+				t.Errorf("rank %d close: %v", rank, err)
+			}
+			rc.Destroy(p)
+		})
+	}
+	e.Spawn("chaos", func(p *sim.Process) {
+		p.Sleep(10 * sim.Microsecond)
+		sys.KillRank(victim)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v (blocked: %v)", err, e.BlockedProcesses())
+	}
+	if got := e.LiveProcesses(); got != 0 {
+		t.Fatalf("LiveProcesses = %d after clean run, want 0 (blocked: %v)", got, e.BlockedProcesses())
+	}
+	// Finished process goroutines exit asynchronously after their final
+	// yield is consumed; give the scheduler a few GC'd beats.
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// hierA2ASpec builds a hierarchical all-to-all spec over ranks.
+func hierA2ASpec(count int, ranks []int) prim.Spec {
+	return prim.Spec{Kind: prim.AllToAll, Count: count, Type: mem.Float64, Ranks: ranks, Algo: prim.AlgoHierarchical}
+}
+
+// runHierOnce opens the hierarchical all-to-all over ranks on a fresh
+// launch cycle, waits, and returns each member's per-transport byte
+// split (indexed by position). collID < 0 selects auto IDs.
+func runHierOnce(t *testing.T, sys *System, ranks []int, count int, tag string) []prim.TransportBytes {
+	t.Helper()
+	e := sys.Engine
+	splits := make([]prim.TransportBytes, len(ranks))
+	bar := newTestBarrier(len(ranks))
+	for pos, rank := range ranks {
+		pos, rank := pos, rank
+		e.Spawn(tag, func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(hierA2ASpec(count, ranks))
+			if err != nil {
+				t.Errorf("%s rank %d open: %v", tag, rank, err)
+				return
+			}
+			s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count*len(ranks))
+			d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count*len(ranks))
+			for i := 0; i < s.Len(); i++ {
+				s.SetFloat64(i, float64(rank*1000+i))
+			}
+			fut, err := coll.Launch(p, s, d)
+			if err != nil {
+				t.Errorf("%s rank %d launch: %v", tag, rank, err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("%s rank %d wait: %v", tag, rank, err)
+				return
+			}
+			splits[pos] = coll.Stats().BytesSentBy
+			bar.Wait(p)
+			if err := coll.Close(p); err != nil {
+				t.Errorf("%s rank %d close: %v", tag, rank, err)
+			}
+			rc.Destroy(p)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("%s Run: %v (blocked: %v)", tag, err, e.BlockedProcesses())
+	}
+	return splits
+}
+
+// TestPoolReformationRegression cycles kill → reform → revive and pins
+// two invariants: Created() communicator count stays bounded (the pool
+// recycles both the full-set and the survivor-set shapes), and the
+// HierFabric rebuilt for the re-formed group produces exactly the
+// per-transport byte split of a fresh system opening the survivor
+// group directly — extending the PR 4 permutation regression to
+// elastic membership.
+func TestPoolReformationRegression(t *testing.T) {
+	const count, cycles, victim = 64, 5, 9
+	cluster := topo.MultiNode3090(2)
+	full := []int{0, 1, 8, 9}
+	survivors := []int{0, 1, 8}
+
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(600 * sim.Second)
+	sys := NewSystem(e, cluster, DefaultConfig())
+
+	// All kill/revive cycles run inside one engine run: each rank is a
+	// long-lived process looping over cycles, and a coordinator revives
+	// the victim between cycles. Two barriers per cycle (5 parties: the
+	// 4 rank processes + the coordinator) fence the revive.
+	endWork := newTestBarrier(len(full) + 1)
+	revived := newTestBarrier(len(full) + 1)
+	reformedSplits := make([]prim.TransportBytes, len(survivors))
+	for _, rank := range full {
+		rank := rank
+		e.Spawn("cycle", func(p *sim.Process) {
+			for cy := 0; cy < cycles; cy++ {
+				rc := sys.Init(p, rank) // victim: fresh context post-revive
+				coll, err := rc.Open(hierA2ASpec(count, full))
+				if err != nil {
+					t.Errorf("cycle %d rank %d open: %v", cy, rank, err)
+					return
+				}
+				s := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count*len(full))
+				d := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count*len(full))
+				s.Fill(float64(rank))
+				fut, err := coll.Launch(p, s, d)
+				if err != nil {
+					t.Errorf("cycle %d rank %d launch: %v", cy, rank, err)
+					return
+				}
+				if rank == victim {
+					// The victim kills itself mid-flight, drains its
+					// aborted future, and keeps pacing the barriers.
+					p.Sleep(10 * sim.Microsecond)
+					sys.KillRank(victim)
+					fut.Wait(p)
+					endWork.Wait(p)
+					revived.Wait(p)
+					continue
+				}
+				fut.Wait(p) // resolves (success or typed abort)
+				for coll.LostRanks() == nil {
+					// Completed before the kill landed: wait for it so
+					// Reform has something to re-form from.
+					p.Sleep(5 * sim.Microsecond)
+				}
+				re, err := coll.Reform(p)
+				if err != nil {
+					t.Errorf("cycle %d rank %d reform: %v", cy, rank, err)
+					return
+				}
+				s2 := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count*len(survivors))
+				d2 := mem.NewBuffer(mem.DeviceSpace, mem.Float64, count*len(survivors))
+				s2.Fill(float64(rank))
+				fut2, err := re.Launch(p, s2, d2)
+				if err != nil {
+					t.Errorf("cycle %d rank %d reformed launch: %v", cy, rank, err)
+					return
+				}
+				if err := fut2.Wait(p); err != nil {
+					t.Errorf("cycle %d rank %d reformed wait: %v", cy, rank, err)
+					return
+				}
+				for i, r2 := range survivors {
+					if r2 == rank {
+						reformedSplits[i] = re.Stats().BytesSentBy
+					}
+				}
+				if err := re.Close(p); err != nil {
+					t.Errorf("cycle %d rank %d close: %v", cy, rank, err)
+				}
+				endWork.Wait(p)
+				revived.Wait(p)
+			}
+			if rank != victim {
+				sys.Init(p, rank).Destroy(p)
+			}
+		})
+	}
+	e.Spawn("coordinator", func(p *sim.Process) {
+		for cy := 0; cy < cycles; cy++ {
+			endWork.Wait(p)
+			// The victim's abort drain may still be in flight; retry
+			// until ReviveRank accepts (it refuses while outstanding).
+			for sys.ReviveRank(victim) != nil {
+				p.Sleep(5 * sim.Microsecond)
+			}
+			revived.Wait(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v (blocked: %v)", err, e.BlockedProcesses())
+	}
+
+	// Boundedness: two shapes ever built (full set + survivor set), so
+	// Created() must not scale with cycles. The survivor-set comm is
+	// recreated only if the pool failed to recycle it.
+	if got := sys.CommsCreated(); got > 2 {
+		t.Fatalf("CommsCreated = %d after %d kill/revive cycles, want ≤ 2", got, cycles)
+	}
+
+	// Transport-split equivalence: a fresh system opening the survivor
+	// group directly must see the identical per-transport wiring.
+	fresh := sim.NewEngine()
+	fresh.MaxTime = sim.Time(600 * sim.Second)
+	freshSys := NewSystem(fresh, topo.MultiNode3090(2), DefaultConfig())
+	freshSplits := runHierOnce(t, freshSys, survivors, count, "fresh")
+	for i := range survivors {
+		if reformedSplits[i] != freshSplits[i] {
+			t.Errorf("survivor pos %d: reformed split %+v != fresh split %+v", i, reformedSplits[i], freshSplits[i])
+		}
+	}
+}

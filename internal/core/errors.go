@@ -1,0 +1,33 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRankLost is the sentinel matched by errors.Is when a collective
+// fails because a participating rank left the group mid-run. The
+// concrete error delivered through callbacks and Futures is a
+// *RankLostError carrying the collective ID and the departed ranks.
+var ErrRankLost = errors.New("core: rank lost")
+
+// RankLostError reports that a collective was aborted because one or
+// more of its participating ranks were lost (killed, preempted spot
+// instance, hardware fault) while launches were in flight. Surviving
+// ranks receive it from their Future; the caller is expected to Close
+// the dead handle and re-form the group over the survivors (see
+// (*Collective).Reform). It unwraps to ErrRankLost.
+type RankLostError struct {
+	// CollID is the collective whose launch was aborted.
+	CollID int
+	// Lost lists the departed global ranks, ascending.
+	Lost []int
+}
+
+// Error formats the abort for diagnostics.
+func (e *RankLostError) Error() string {
+	return fmt.Sprintf("core: collective %d aborted: rank(s) %v lost", e.CollID, e.Lost)
+}
+
+// Unwrap ties the typed error to the ErrRankLost sentinel.
+func (e *RankLostError) Unwrap() error { return ErrRankLost }

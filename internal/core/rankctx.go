@@ -11,8 +11,14 @@ import (
 )
 
 // Callback is a user completion callback, invoked by the poller thread
-// when the collective's CQE is observed (Fig. 4, steps 6–7).
-type Callback func()
+// when the collective's CQE is observed (Fig. 4, steps 6–7). err is
+// nil on normal completion; when the run's group was killed by a rank
+// loss it is the group's typed *RankLostError (matching
+// errors.Is(err, ErrRankLost)). A run that finished successfully just
+// before the kill may still observe the error — the CQE does not
+// record provenance — so retry layers must treat the error as "result
+// unusable", not "no data moved".
+type Callback func(err error)
 
 // runReq is one pending invocation of a registered collective: the
 // buffers for this run. Callbacks are matched FIFO on the CPU side.
@@ -73,6 +79,10 @@ type RankContext struct {
 	daemonInst *cudasim.KernelInstance
 	finalExit  bool
 	destroyed  bool
+	// lost marks the rank as killed (KillRank): destroyed for new work,
+	// with its daemon still draining aborted runs to CQEs. The poller
+	// auto-releases the rank's registrations when it exits.
+	lost bool
 
 	submitted int
 	completed int
@@ -130,7 +140,7 @@ func (s *System) Init(p *sim.Process, rank int) *RankContext {
 // deprecated Register* shims: it creates (or joins) the cross-rank
 // group and installs the per-rank task.
 func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error {
-	if r.destroyed {
+	if r.destroyed && !r.lost {
 		return fmt.Errorf("core: rank %d context destroyed", r.Rank)
 	}
 	// Per-rank validations run before the system-level register so a
@@ -154,10 +164,14 @@ func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error
 		return err
 	}
 	pos := g.posOf[r.Rank]
-	r.tasks[collID] = &collTask{
+	t := &collTask{
 		group: g,
 		exec:  g.comm.executorFor(r.sys.Cluster, g.Spec, pos),
 	}
+	// The abort hook is how a rank loss reaches the daemon: the
+	// executor polls it at every step entry and connector-wait wakeup.
+	t.exec.AbortCheck = g.aborted
+	r.tasks[collID] = t
 	g.refs++
 	return nil
 }
@@ -233,12 +247,22 @@ func (r *RankContext) RegisterReduce(collID, count int, t mem.DataType, op mem.R
 // the callback map, and the daemon kernel is started if necessary
 // (event-driven starting, Sec. 4.4).
 func (r *RankContext) Run(p *sim.Process, collID int, sendBuf, recvBuf *mem.Buffer, cb Callback) error {
+	if r.lost {
+		// The rank's own departure is a rank-lost condition too: callers
+		// running on a killed rank see the same typed error survivors do.
+		return &RankLostError{CollID: collID, Lost: []int{r.Rank}}
+	}
 	if r.destroyed {
 		return fmt.Errorf("core: rank %d context destroyed", r.Rank)
 	}
 	task, ok := r.tasks[collID]
 	if !ok {
 		return fmt.Errorf("core: collective %d not registered on rank %d", collID, r.Rank)
+	}
+	if task.group.aborted() {
+		// Dead group: reject synchronously with the typed error rather
+		// than queueing a run that could only abort.
+		return task.group.abortErr
 	}
 	if err := checkBufferSizes(task.group.Spec, task.group.posOf[r.Rank], sendBuf, recvBuf); err != nil {
 		return err
@@ -354,12 +378,19 @@ func (r *RankContext) pollerBody(p *sim.Process) {
 			cb := cbs[0]
 			r.callbacks[id] = cbs[1:]
 			if cb != nil {
-				cb()
+				cb(r.completionErr(id))
 			}
 		}
 		if r.Outstanding() == 0 {
 			r.idleCond.Broadcast(p.Engine())
 			if r.destroyed {
+				if r.lost {
+					// A killed rank cannot Close its handles; release
+					// its registrations so group refcounts drop and
+					// survivors' last Close can recycle the
+					// communicator.
+					r.releaseAll()
+				}
 				return
 			}
 			r.pollerWake.Wait(p)
@@ -373,6 +404,33 @@ func (r *RankContext) pollerBody(p *sim.Process) {
 		r.pollerWake.WaitTimeout(p, 50*PollerInterval)
 	}
 }
+
+// completionErr maps a drained CQE to the error its callback should
+// observe: the group's abort error when a rank loss killed it, else
+// nil. Runs on the poller between CQE drain and callback delivery, so
+// the task is still registered (Unregister refuses while callbacks are
+// outstanding).
+func (r *RankContext) completionErr(id int) error {
+	t := r.tasks[id]
+	if t == nil || t.group.abortErr == nil {
+		return nil
+	}
+	return t.group.abortErr
+}
+
+// releaseAll drops every registration this rank still holds —
+// idempotent cleanup for killed ranks, run by the exiting poller and
+// by ReviveRank (whichever comes first).
+func (r *RankContext) releaseAll() {
+	for id, t := range r.tasks {
+		delete(r.tasks, id)
+		delete(r.callbacks, id)
+		r.sys.unregister(t.group)
+	}
+}
+
+// Lost reports whether this rank has been killed (KillRank).
+func (r *RankContext) Lost() bool { return r.lost }
 
 // DeviceSynchronize issues an explicit GPU synchronization
 // (cudaDeviceSynchronize) from the application: the calling process

@@ -84,7 +84,16 @@ type Group struct {
 	// unregisters, the group is dropped and its communicator returns to
 	// the pool.
 	refs int
+	// abortErr, when non-nil, marks the group dead: a participating
+	// rank was lost mid-run. Daemons observe it through their
+	// executors' AbortCheck and resolve every pending run to a CQE the
+	// poller translates into this typed error; new launches are
+	// rejected with it synchronously.
+	abortErr *RankLostError
 }
+
+// aborted reports whether a rank loss has killed this group.
+func (g *Group) aborted() bool { return g.abortErr != nil }
 
 // Register registers a collective with the system, creating the group
 // on first call and validating consistency on subsequent calls from
@@ -98,10 +107,18 @@ func (s *System) register(spec prim.Spec, collID, priority, grid int) (*Group, e
 		grid = DefaultCollectiveGrid
 	}
 	if g, ok := s.groups[collID]; ok {
+		if g.aborted() {
+			return nil, g.abortErr
+		}
 		if !sameSpec(g.Spec, spec) {
 			return nil, fmt.Errorf("core: collective %d re-registered with a different spec", collID)
 		}
 		return g, nil
+	}
+	for _, rank := range spec.Ranks {
+		if rc := s.rankAt(rank); rc != nil && rc.lost {
+			return nil, &RankLostError{CollID: collID, Lost: []int{rank}}
+		}
 	}
 	if len(s.groups) >= s.Config.MaxCollectives {
 		return nil, fmt.Errorf("core: collective context buffer full (%d collectives)", s.Config.MaxCollectives)
@@ -128,6 +145,13 @@ func (s *System) unregister(g *Group) {
 	g.refs--
 	if g.refs > 0 {
 		return
+	}
+	if g.aborted() {
+		// The last rank out of a dead group has already observed every
+		// pending run resolve (Close refuses outstanding runs), so no
+		// daemon is still touching the wiring: scrub the chunks the
+		// lost rank left in flight before the pool reuses it.
+		g.comm.scrub(s.Engine)
 	}
 	s.pool.release(g.comm)
 	delete(s.groups, g.ID)
@@ -189,6 +213,103 @@ func sameSpec(a, b prim.Spec) bool {
 	return true
 }
 
+// rankAt returns the rank context if Init has created one, else nil.
+func (s *System) rankAt(rank int) *RankContext {
+	if rank < 0 || rank >= len(s.ranks) {
+		return nil
+	}
+	return s.ranks[rank]
+}
+
+// RankLost reports whether a rank has been killed and not yet revived.
+func (s *System) RankLost(rank int) bool {
+	rc := s.rankAt(rank)
+	return rc != nil && rc.lost
+}
+
+// KillRank removes a rank from the deployment mid-run: the elastic-
+// membership leave event (spot preemption, hardware fault). It only
+// sets flags and broadcasts wakeups — it never touches run queues or
+// connectors directly, because the rank's daemon may be cooperatively
+// blocked inside a primitive:
+//
+//   - the rank's context is marked lost (new launches and opens are
+//     rejected);
+//   - every group the rank participates in is marked aborted with a
+//     typed *RankLostError;
+//   - every member rank's daemon observes the abort at the executor's
+//     next checkpoint (StepOnce entry or connector-wait wakeup),
+//     resolves each pending run to a CQE, and the poller delivers the
+//     typed error through the run's callback/Future.
+//
+// The dead rank's own daemon runs the identical abort-drain protocol,
+// so its outstanding futures also resolve (with the error) and its
+// poller exits cleanly, auto-releasing the rank's registrations.
+// Killing an already-lost or never-initialized rank is a no-op.
+func (s *System) KillRank(rank int) {
+	rc := s.rankAt(rank)
+	if rc == nil || rc.lost {
+		return
+	}
+	rc.lost = true
+	rc.destroyed = true
+	e := s.Engine
+	for _, g := range s.groups {
+		if _, in := g.posOf[rank]; !in {
+			continue
+		}
+		if g.abortErr == nil {
+			g.abortErr = &RankLostError{CollID: g.ID, Lost: []int{rank}}
+		} else {
+			g.abortErr.Lost = insertSorted(g.abortErr.Lost, rank)
+		}
+		// Wake daemons blocked on the group's connectors so the abort
+		// is observed immediately instead of after the spin budget.
+		g.comm.wake(e)
+		for member := range g.posOf {
+			if mc := s.rankAt(member); mc != nil {
+				mc.pollerWake.Broadcast(e)
+			}
+		}
+	}
+	rc.pollerWake.Broadcast(e)
+}
+
+// ReviveRank returns a previously killed rank's slot to the
+// deployment: the elastic-membership join event. The next Init on the
+// rank builds a fresh context (new SQ/CQ, new poller). It refuses to
+// revive while the dead rank's abort drain is still in flight, and
+// force-releases any registrations its exiting poller has not yet
+// dropped.
+func (s *System) ReviveRank(rank int) error {
+	rc := s.rankAt(rank)
+	if rc == nil {
+		return nil
+	}
+	if !rc.lost {
+		return fmt.Errorf("core: rank %d is alive; revive needs a killed rank", rank)
+	}
+	if rc.Outstanding() > 0 {
+		return fmt.Errorf("core: rank %d still draining %d aborted run(s)", rank, rc.Outstanding())
+	}
+	rc.releaseAll()
+	s.ranks[rank] = nil
+	return nil
+}
+
+// insertSorted adds v to an ascending slice, keeping order and
+// uniqueness.
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
 // NumRegistered returns the number of registered collectives.
 func (s *System) NumRegistered() int { return len(s.groups) }
 
@@ -244,6 +365,28 @@ func (c *communicator) executorFor(cluster *topo.Cluster, spec prim.Spec, pos in
 		return c.hier.ExecutorFor(cluster, spec, pos, nil, nil)
 	}
 	return c.ring.ExecutorFor(cluster, spec, pos, nil, nil)
+}
+
+// wake broadcasts every connector condition of the communicator's
+// wirings so daemons blocked mid-wait re-poll their abort checks.
+func (c *communicator) wake(e *sim.Engine) {
+	for _, conn := range c.ring.Conns {
+		conn.Readable().Broadcast(e)
+		conn.Writable().Broadcast(e)
+	}
+	if c.hier != nil {
+		c.hier.WakeAll(e)
+	}
+}
+
+// scrub discards in-flight chunks an aborted collective left in the
+// communicator's connectors, restoring the pool invariant that a
+// released communicator's wiring is empty.
+func (c *communicator) scrub(e *sim.Engine) {
+	c.ring.DrainConnectors(e)
+	if c.hier != nil {
+		c.hier.DrainConnectors(e)
+	}
 }
 
 // sameRankOrder reports whether two rank lists are identical including

@@ -103,6 +103,21 @@ func (c *Connector) Readable() *sim.Cond { return c.readable }
 // Writable returns the condition signalled when a slot frees up.
 func (c *Connector) Writable() *sim.Cond { return c.writable }
 
+// Drain discards all in-flight chunks and releases ownership, waking
+// any writer blocked on a full ring. This is the abort path for
+// elastic membership: when a rank is lost mid-collective, chunks it
+// deposited (or never consumed) are garbage to the next owner, so the
+// pool scrubs the connector before reuse instead of tripping the
+// Reset in-flight panic.
+func (c *Connector) Drain(e *sim.Engine) {
+	for i := range c.slots {
+		c.slots[i] = nil
+	}
+	c.head = c.tail
+	c.Owner = -1
+	c.writable.Broadcast(e)
+}
+
 // Reset clears the connector for reuse by a new collective. It panics
 // if in-flight chunks remain, which would indicate the daemon kernel
 // violated connector ownership of a preempted collective.

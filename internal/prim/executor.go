@@ -24,6 +24,10 @@ const (
 	Stuck
 	// Done: the whole sequence (all rounds) has completed.
 	Done
+	// Aborted: AbortCheck reported the collective dead (a participating
+	// rank was lost). The dynamic context is left at the exact
+	// checkpoint reached; no connector state was touched.
+	Aborted
 )
 
 // String names the step outcome for diagnostics.
@@ -35,6 +39,8 @@ func (r StepResult) String() string {
 		return "stuck"
 	case Done:
 		return "done"
+	case Aborted:
+		return "aborted"
 	default:
 		return fmt.Sprintf("StepResult(%d)", int(r))
 	}
@@ -109,6 +115,15 @@ type Executor struct {
 	// 1 = send half complete, awaiting recv half.
 	Phase       int
 	Initialized bool
+
+	// AbortCheck, when non-nil, is polled at StepOnce entry and at
+	// every connector-wait wakeup. When it reports true the executor
+	// returns Aborted without touching connector state, leaving
+	// (Stage, Round, Step, Phase) at the checkpoint reached — the same
+	// positions the preempt/resume machinery already saves, which is
+	// what makes rank loss observable at well-defined points instead of
+	// mid-primitive.
+	AbortCheck func() bool
 
 	scratch *mem.Buffer
 
@@ -266,30 +281,50 @@ func (x *Executor) copyOut(p *sim.Process) {
 	copy(dst, src)
 }
 
-// waitCond spins (in simulated terms: waits) until ready() is true or
-// the budget expires. A negative budget means wait forever — the NCCL
-// busy-wait mode. It reports whether the condition was met.
-func waitCond(p *sim.Process, ready func() bool, cond *sim.Cond, budget sim.Duration) bool {
+// aborted reports whether the owning runtime has flagged this
+// collective dead (AbortCheck is nil for runtimes without elastic
+// membership, e.g. the NCCL baseline).
+func (x *Executor) aborted() bool {
+	return x.AbortCheck != nil && x.AbortCheck()
+}
+
+// waitConn spins (in simulated terms: waits) until ready() is true,
+// the budget expires (Stuck), or an abort is observed (Aborted). A
+// negative budget means wait forever — the NCCL busy-wait mode — but
+// even there every cond wakeup re-polls AbortCheck, so a daemon
+// blocked on a dead peer's connector unblocks as soon as the kill
+// broadcast lands. Returns Progressed when the condition was met.
+func (x *Executor) waitConn(p *sim.Process, ready func() bool, cond *sim.Cond, budget sim.Duration) StepResult {
+	if x.aborted() {
+		return Aborted
+	}
 	if ready() {
-		return true
+		return Progressed
 	}
 	if budget < 0 {
 		for !ready() {
 			cond.Wait(p)
+			if x.aborted() {
+				return Aborted
+			}
 		}
-		return true
+		return Progressed
 	}
 	deadline := p.Now().Add(budget)
 	for !ready() {
 		remaining := deadline.Sub(p.Now())
 		if remaining <= 0 {
-			return false
+			return Stuck
 		}
-		if cond.WaitTimeout(p, remaining) && !ready() {
-			return false
+		timedOut := cond.WaitTimeout(p, remaining)
+		if x.aborted() {
+			return Aborted
+		}
+		if timedOut && !ready() {
+			return Stuck
 		}
 	}
-	return true
+	return Progressed
 }
 
 // StepOnce attempts the next primitive with the given spin budget
@@ -297,6 +332,9 @@ func waitCond(p *sim.Process, ready func() bool, cond *sim.Cond, budget sim.Dura
 // busy-wait for connector readiness; once ready, the primitive's data
 // movement runs to completion (two-phase blocking execution).
 func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult {
+	if x.aborted() {
+		return Aborted
+	}
 	if !x.Initialized {
 		x.initialize(p)
 		if x.Seq.totalActions() == 0 {
@@ -323,16 +361,20 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 		// all-gather middle, reduce chain) depend on the incoming chunk.
 		in, out := x.Ins[a.RecvConn], x.Outs[a.SendConn]
 		if x.Phase == 0 {
-			if !waitCond(p, in.CanRead, in.Readable(), spinBudget) {
-				x.SpinAborts++
-				return Stuck
+			if r := x.waitConn(p, in.CanRead, in.Readable(), spinBudget); r != Progressed {
+				if r == Stuck {
+					x.SpinAborts++
+				}
+				return r
 			}
 			x.recvHalf(p, a)
 			x.Phase = 1
 		}
-		if !waitCond(p, out.CanWrite, out.Writable(), spinBudget) {
-			x.SpinAborts++
-			return Stuck
+		if r := x.waitConn(p, out.CanWrite, out.Writable(), spinBudget); r != Progressed {
+			if r == Stuck {
+				x.SpinAborts++
+			}
+			return r
 		}
 		x.sendHalf(p, a)
 	default:
@@ -341,18 +383,22 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 		// on its receive).
 		if a.HasSend() && x.Phase == 0 {
 			out := x.Outs[a.SendConn]
-			if !waitCond(p, out.CanWrite, out.Writable(), spinBudget) {
-				x.SpinAborts++
-				return Stuck
+			if r := x.waitConn(p, out.CanWrite, out.Writable(), spinBudget); r != Progressed {
+				if r == Stuck {
+					x.SpinAborts++
+				}
+				return r
 			}
 			x.sendHalf(p, a)
 			x.Phase = 1
 		}
 		if a.HasRecv() {
 			in := x.Ins[a.RecvConn]
-			if !waitCond(p, in.CanRead, in.Readable(), spinBudget) {
-				x.SpinAborts++
-				return Stuck
+			if r := x.waitConn(p, in.CanRead, in.Readable(), spinBudget); r != Progressed {
+				if r == Stuck {
+					x.SpinAborts++
+				}
+				return r
 			}
 			x.recvHalf(p, a)
 		}
@@ -471,6 +517,24 @@ func buildRing(c *topo.Cluster, net *fabric.Network, spec Spec, tag string) *Rin
 		}
 	}
 	return r
+}
+
+// DrainConnectors scrubs every ring connector after an aborted
+// collective, discarding in-flight chunks a lost rank left behind and
+// waking any writer still blocked on a full ring.
+func (r *Ring) DrainConnectors(e *sim.Engine) {
+	for _, c := range r.Conns {
+		c.Drain(e)
+	}
+}
+
+// WakeAll broadcasts every ring connector's conditions so executors
+// blocked mid-wait re-poll their abort checks.
+func (r *Ring) WakeAll(e *sim.Engine) {
+	for _, c := range r.Conns {
+		c.Readable().Broadcast(e)
+		c.Writable().Broadcast(e)
+	}
 }
 
 // ExecutorFor builds the executor for ring position pos using the

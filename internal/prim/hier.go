@@ -36,6 +36,7 @@ import (
 
 	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
+	"dfccl/internal/sim"
 	"dfccl/internal/topo"
 )
 
@@ -459,6 +460,48 @@ func BuildHierFabric(c *topo.Cluster, ranks []int, tag string) *HierFabric {
 // the topology).
 func BuildHierFabricOn(net *fabric.Network, ranks []int, tag string) *HierFabric {
 	return buildHierFabric(net.Cluster(), net, ranks, tag)
+}
+
+// WakeAll broadcasts every fabric connector's conditions so executors
+// blocked mid-wait re-poll their abort checks.
+func (f *HierFabric) WakeAll(e *sim.Engine) {
+	for _, row := range f.outs {
+		for _, c := range row {
+			if c != nil {
+				c.Readable().Broadcast(e)
+				c.Writable().Broadcast(e)
+			}
+		}
+	}
+	for _, row := range f.ins {
+		for _, c := range row {
+			if c != nil {
+				c.Readable().Broadcast(e)
+				c.Writable().Broadcast(e)
+			}
+		}
+	}
+}
+
+// DrainConnectors scrubs every fabric connector after an aborted
+// collective (every position's out endpoints cover the whole mesh and
+// leader ring; Drain is idempotent, so shared endpoints drained twice
+// are harmless).
+func (f *HierFabric) DrainConnectors(e *sim.Engine) {
+	for _, row := range f.outs {
+		for _, c := range row {
+			if c != nil {
+				c.Drain(e)
+			}
+		}
+	}
+	for _, row := range f.ins {
+		for _, c := range row {
+			if c != nil {
+				c.Drain(e)
+			}
+		}
+	}
 }
 
 func buildHierFabric(c *topo.Cluster, net *fabric.Network, ranks []int, tag string) *HierFabric {

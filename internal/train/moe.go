@@ -157,6 +157,7 @@ func (c MoEConfig) validate(cluster *topo.Cluster) error {
 // MoE collective-ID space (kept below core.AutoCollIDBase).
 const (
 	moeCollDense    = 900_000 // persistent dense-grad all-reduce
+	moeCollCounts   = 900_001 // persistent count-matrix all-gather
 	moeCollBase     = 910_000 // + iteration*moeCollStride + slot
 	moeCollStride   = 8
 	moeSlotDispatch = 0
@@ -303,6 +304,20 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 		return err
 	}
 
+	// Persistent count-matrix all-gather: each rank can compute only its
+	// own routing row locally, so the N×N matrix the ragged dispatch
+	// layout needs is assembled at runtime by gathering the rows — the
+	// communication a real MoE layer performs before an uneven exchange,
+	// and what lets routing survive membership churn (a re-formed group
+	// just gathers rows over the new rank set). Counts are small
+	// integers, carried exactly in Float64 on every backend.
+	countsSend := mem.NewBuffer(mem.DeviceSpace, mem.Float64, n)
+	countsRecv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, n*n)
+	countsSpec := prim.Spec{Kind: prim.AllGather, Count: n, Type: mem.Float64, Ranks: ranks}
+	if err := db.RegisterData(p, rank, moeCollCounts, countsSpec, 0, countsSend, countsRecv); err != nil {
+		return err
+	}
+
 	// Padded-mode buffers are capacity-sized once; the ragged path
 	// allocates per iteration because the routed counts change.
 	var dispatchSend, dispatchRecv, combineSend, combineRecv *mem.Buffer
@@ -338,7 +353,40 @@ func runMoERank(p *sim.Process, db orch.DataBackend, dyn orch.DynamicBackend, cf
 
 	for it := 0; it < cfg.Iterations; it++ {
 		start := p.Now()
-		tokCnt := cfg.routedTokens(it)
+		// Gather the routing matrix: contribute the local row, receive
+		// every rank's. Launched uniformly on all ranks before any
+		// disorder point, so single-stream launch-order expectations are
+		// unchanged.
+		for e := 0; e < n; e++ {
+			countsSend.SetFloat64(e, 0)
+		}
+		for t := 0; t < cfg.TokensPerRank; t++ {
+			for _, e := range cfg.route(rank, t, it) {
+				countsSend.SetFloat64(e, countsSend.Float64At(e)+1)
+			}
+		}
+		if err := b.Launch(p, rank, moeCollCounts); err != nil {
+			return err
+		}
+		b.Wait(p, rank, moeCollCounts)
+		tokCnt := make([][]int, n)
+		for src := 0; src < n; src++ {
+			tokCnt[src] = make([]int, n)
+			for e := 0; e < n; e++ {
+				tokCnt[src][e] = int(countsRecv.Float64At(src*n + e))
+			}
+		}
+		// The router is pure, so the gathered matrix must equal the
+		// reference computation — a live end-to-end check that the
+		// count exchange carried real data.
+		for src, refRow := range cfg.routedTokens(it) {
+			for e, want := range refRow {
+				if tokCnt[src][e] != want {
+					return fmt.Errorf("train: moe rank %d iter %d gathered count[%d][%d] = %d, want %d",
+						rank, it, src, e, tokCnt[src][e], want)
+				}
+			}
+		}
 		layout := moeLayoutFor(cfg, rank, tokCnt)
 		dID, cID := dispatchID(0), combineID(0)
 		if perIter {
