@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test test-race ci smoke doccheck bench chaos
+.PHONY: all fmt vet build test test-race ci smoke doccheck bench tune chaos
 
 all: ci
 
@@ -29,18 +29,26 @@ test-race:
 ci: fmt vet build test
 
 # doccheck fails if any exported identifier in the root package,
-# internal/prim, internal/orch, or internal/fabric lacks a doc comment
-# (go/ast-based, no external linters; see cmd/doccheck).
+# internal/prim, internal/orch, internal/fabric, or internal/tune lacks
+# a doc comment (go/ast-based, no external linters; see cmd/doccheck).
 doccheck:
 	$(GO) run ./cmd/doccheck
 
 # bench regenerates the machine-readable perf-trajectory snapshot
-# (BENCH_pr7.json): the all-to-all size × algorithm × shape × fabric
-# matrix plus the fault-injection scenarios with their chaos-overhead
-# column. Deterministic — regenerating on an unchanged tree is a no-op
-# diff, so CI can assert the committed snapshot is current.
+# (BENCH_pr8.json): the all-to-all size × algorithm × shape × fabric
+# matrix, the fault-injection scenarios with their chaos-overhead
+# column, and the full-collective matrix (all-reduce / all-gather /
+# reduce-scatter × ring / hierarchical / auto). Deterministic —
+# regenerating on an unchanged tree is a no-op diff, so CI can assert
+# the committed snapshot is current.
 bench:
-	$(GO) run ./cmd/trainbench -fig a2abench -out BENCH_pr7.json
+	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr8.json
+
+# tune regenerates the committed auto-tuning table
+# (internal/tune/default_table.json) from the crossover sweep; like
+# bench, a re-run on an unchanged tree must be a no-op diff.
+tune:
+	$(GO) run ./cmd/trainbench -fig tune
 
 # chaos runs the fault-injection gate: seeded kill/revive schedules
 # against live elastic DP/MoE/ZeRO workloads; exits non-zero unless
@@ -64,4 +72,9 @@ smoke: fmt vet build test-race doccheck
 	$(GO) run ./cmd/trainbench -fig zero -iters 2 -trials 1 > /dev/null
 	$(GO) run ./cmd/trainbench -fig a2a > /dev/null
 	$(GO) run ./cmd/trainbench -fig chaos > /dev/null
+	$(GO) run ./cmd/trainbench -fig ar > /dev/null
+	$(GO) run ./cmd/trainbench -fig tune
+	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr8.json
+	@git diff --exit-code -- internal/tune/default_table.json BENCH_pr8.json \
+		|| { echo "smoke: regenerated artifacts differ from the committed ones"; exit 1; }
 	@echo "smoke: all entry points OK"

@@ -1,7 +1,7 @@
 // Command doccheck enforces the repository's godoc floor: every
 // exported identifier in the audited packages (the root dfccl package,
-// internal/prim, internal/orch, and internal/fabric) must carry a doc
-// comment. It
+// internal/prim, internal/orch, internal/fabric, and internal/tune)
+// must carry a doc comment. It
 // parses the source with go/ast — no external linters — and exits
 // non-zero listing each undocumented identifier as file:line.
 //
@@ -23,7 +23,7 @@ import (
 
 // auditedDirs are the packages whose exported surface must be fully
 // documented. Relative to the repository root (the working directory).
-var auditedDirs = []string{".", "internal/prim", "internal/orch", "internal/fabric"}
+var auditedDirs = []string{".", "internal/prim", "internal/orch", "internal/fabric", "internal/tune"}
 
 func main() {
 	var missing []string

@@ -15,16 +15,30 @@
 //	          sweep (per-tier link utilization, oversubscription
 //	          gates)
 //	-fig a2abench
-//	          machine-readable benchmark matrix (sizes × algorithms ×
-//	          shapes × fabrics, plus a chaos-overhead column) written
-//	          as JSON to -out, the perf-trajectory snapshot
-//	          (`make bench` → BENCH_pr7.json)
+//	          machine-readable all-to-all benchmark matrix (sizes ×
+//	          algorithms × shapes × fabrics, plus a chaos-overhead
+//	          column) written as JSON to -out (the BENCH_pr7.json
+//	          subset of the full matrix; see -fig collbench)
 //	-fig chaos
 //	          fault-injection gate: seeded kill/revive schedules
 //	          against live DP, MoE, and ZeRO workloads; exits non-zero
 //	          unless every fault surfaces as a typed ErrRankLost abort
 //	          or a clean re-formation, with zero hangs and post-reform
 //	          training bit-identical to the fault-free reference
+//	-fig ar   auto-tuning gate: ring vs hierarchical vs auto for
+//	          all-reduce / all-gather / reduce-scatter across shapes
+//	          and sizes; exits non-zero unless every auto pick matches
+//	          the per-cell winner within tolerance with bit-identical
+//	          outputs
+//	-fig tune regenerates the committed auto-tuning table
+//	          (bench.TuneSweep) and writes it to -out (default
+//	          internal/tune/default_table.json); deterministic, so a
+//	          regeneration must be a no-op diff
+//	-fig collbench
+//	          the full-collective benchmark matrix: the a2abench and
+//	          chaos cells plus allreduce/allgather/reducescatter ×
+//	          sizes × ring/hierarchical/auto × shapes × fabrics,
+//	          written as JSON to -out (`make bench` → BENCH_pr8.json)
 //
 // Iteration counts default to paper-scale (200) for -fig 10/13; use
 // -iters to reduce for quick runs. -trials sets the disordered-
@@ -43,10 +57,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, or chaos")
+	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, chaos, ar, tune, or collbench")
 	iters := flag.Int("iters", 0, "training iterations (0 = figure default)")
 	trials := flag.Int("trials", 5, "disordered trials for the moe/zero deadlock tally")
-	out := flag.String("out", "", "output file for -fig a2abench (default stdout)")
+	out := flag.String("out", "", "output file for -fig a2abench/collbench (default stdout) and -fig tune (default internal/tune/default_table.json)")
 	flag.Parse()
 
 	switch *fig {
@@ -181,6 +195,40 @@ func main() {
 			err = os.WriteFile(*out, buf, 0o644)
 		}
 		check(err)
+	case "collbench":
+		cells, err := bench.FullBenchMatrix()
+		check(err)
+		buf, err := json.MarshalIndent(cells, "", "  ")
+		check(err)
+		buf = append(buf, '\n')
+		if *out == "" {
+			_, err = os.Stdout.Write(buf)
+		} else {
+			err = os.WriteFile(*out, buf, 0o644)
+		}
+		check(err)
+	case "tune":
+		tbl, err := bench.TuneSweep()
+		check(err)
+		buf, err := tbl.Marshal()
+		check(err)
+		path := *out
+		if path == "" {
+			path = "internal/tune/default_table.json"
+		}
+		check(os.WriteFile(path, buf, 0o644))
+		fmt.Printf("tuning table regenerated: %d rows -> %s\n", len(tbl.Rows), path)
+	case "ar":
+		rows, ok, err := bench.AutoAlgoGate()
+		check(err)
+		fmt.Println("auto-tuning gate (ring vs hierarchical vs auto; auto resolved from the committed tuning table)")
+		for _, r := range rows {
+			fmt.Println("  " + r.String())
+		}
+		if !ok {
+			check(fmt.Errorf("auto pick missed the per-cell winner (or outputs diverged) in at least one cell"))
+		}
+		fmt.Println("auto gate passed: every auto pick matched the per-cell winner within tolerance, outputs bit-identical to the ring")
 	case "chaos":
 		n := defaultIters(*iters, 6)
 		rows, err := bench.Chaos(n)

@@ -41,6 +41,7 @@ import (
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
 	"dfccl/internal/trace"
+	"dfccl/internal/tune"
 )
 
 // Re-exported simulation types. Host code runs as simulated processes
@@ -86,9 +87,14 @@ type (
 	// BatchItem is one launch in a Batch.
 	BatchItem = core.BatchItem
 	// Algorithm selects the primitive-sequence algorithm of a
-	// collective: AlgoRing (default) or AlgoHierarchical for the
-	// topology-aware all-to-all variants.
+	// collective: AlgoRing (default), AlgoHierarchical for the
+	// topology-aware kinds, or AlgoAuto to defer the choice to the
+	// tuning table at Open time.
 	Algorithm = prim.Algorithm
+	// TuningTable is the algorithm auto-tuning table AlgoAuto resolves
+	// against; assign one to Config.Tuning to override the committed
+	// default.
+	TuningTable = tune.Table
 	// TransportBytes is a per-transport (local / SHM / RDMA) split of
 	// the wire traffic a collective's executor sent, reported through
 	// CollectiveStats.
@@ -154,9 +160,10 @@ var (
 	// counts[i][j] elements flow from devSet position i to position j.
 	WithCounts = core.WithCounts
 	// WithAlgorithm selects the collective's primitive-sequence
-	// algorithm (AlgoRing or, for the all-to-all variants,
-	// AlgoHierarchical). All ranks must open the same algorithm;
-	// unknown algorithms are rejected at Open.
+	// algorithm (AlgoRing, AlgoHierarchical for the kinds with a
+	// two-tier schedule, or AlgoAuto to let the tuning table decide).
+	// All ranks must open the same algorithm; unknown algorithms are
+	// rejected at Open.
 	WithAlgorithm = core.WithAlgorithm
 )
 
@@ -164,11 +171,18 @@ var (
 const (
 	// AlgoRing is the flat topology-blind ring (the default).
 	AlgoRing = prim.AlgoRing
-	// AlgoHierarchical tiers the all-to-all by node topology: direct
+	// AlgoHierarchical tiers the collective by node topology: direct
 	// SHM exchange intra-node, a leader ring of aggregated blocks over
 	// RDMA inter-node — strictly fewer inter-node bytes than the flat
-	// ring on multi-node clusters.
+	// ring on multi-node clusters. Available for the all-to-all
+	// variants, all-reduce, all-gather, and reduce-scatter.
 	AlgoHierarchical = prim.AlgoHierarchical
+	// AlgoAuto defers the ring-vs-hierarchical choice to the tuning
+	// table (Config.Tuning, defaulting to the committed artifact),
+	// keyed by kind, payload size, and the node shape the collective's
+	// rank set spans. Kinds without a hierarchical schedule always
+	// resolve to the ring.
+	AlgoAuto = prim.AlgoAuto
 )
 
 // AllReduce builds the spec of an all-reduce over devSet: every rank

@@ -127,11 +127,16 @@ func TestV2WithAlgorithmNegativePaths(t *testing.T) {
 			dfccl.WithCounts(counts), dfccl.WithAlgorithm(dfccl.Algorithm(42))); err == nil {
 			t.Error("Open accepted an unknown algorithm")
 		}
-		// Hierarchical is an all-to-all algorithm only.
+		// The rooted kinds have no hierarchical builder.
 		if _, err := ctx0.Open(
-			dfccl.AllReduce(64, dfccl.Float64, dfccl.Sum, 0, 1),
+			dfccl.Broadcast(64, dfccl.Float64, 0, 0, 1),
 			dfccl.WithAlgorithm(dfccl.AlgoHierarchical)); err == nil {
-			t.Error("Open accepted a hierarchical all-reduce")
+			t.Error("Open accepted a hierarchical broadcast")
+		}
+		if _, err := ctx0.Open(
+			dfccl.Reduce(64, dfccl.Float64, dfccl.Sum, 0, 0, 1),
+			dfccl.WithAlgorithm(dfccl.AlgoHierarchical)); err == nil {
+			t.Error("Open accepted a hierarchical reduce")
 		}
 		// Re-registering the same collective ID under a different
 		// algorithm is a spec mismatch.
@@ -175,5 +180,79 @@ func TestV2WithAlgorithmNegativePaths(t *testing.T) {
 	})
 	if err := lib.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
+	}
+}
+
+// runV2AllReduce runs one AllReduce over the facade on a two-node
+// cluster with the given algorithm, returning one rank's verified
+// result buffer and the summed per-transport wire bytes.
+func runV2AllReduce(t *testing.T, algo dfccl.Algorithm) dfccl.TransportBytes {
+	t.Helper()
+	const count = 48
+	ranks := []int{0, 1, 8, 9}
+	lib := dfccl.New(dfccl.MultiNode3090(2))
+	lib.SetTimeLimit(60 * dfccl.Second)
+	var wire dfccl.TransportBytes
+	for pos := range ranks {
+		pos := pos
+		lib.Go("rank", func(p *dfccl.Process) {
+			ctx := lib.Init(p, ranks[pos])
+			coll, err := ctx.Open(
+				dfccl.AllReduce(count, dfccl.Float64, dfccl.Sum, ranks...),
+				dfccl.WithAlgorithm(algo))
+			if err != nil {
+				t.Errorf("open(%v): %v", algo, err)
+				return
+			}
+			send := dfccl.NewBuffer(dfccl.Float64, count)
+			recv := dfccl.NewBuffer(dfccl.Float64, count)
+			for i := 0; i < count; i++ {
+				send.SetFloat64(i, float64(1+(pos*31+i*7)%101))
+			}
+			fut, err := coll.Launch(p, send, recv)
+			if err != nil {
+				t.Errorf("launch: %v", err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+			for i := 0; i < count; i++ {
+				want := 0.0
+				for q := range ranks {
+					want += float64(1 + (q*31+i*7)%101)
+				}
+				if got := recv.Float64At(i); got != want {
+					t.Errorf("%v elem %d = %v, want %v", algo, i, got, want)
+					return
+				}
+			}
+			wire.Add(coll.Stats().BytesSentBy)
+			if err := coll.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			ctx.Destroy(p)
+		})
+	}
+	if err := lib.Run(); err != nil {
+		t.Fatalf("Run(%v): %v", algo, err)
+	}
+	return wire
+}
+
+// TestV2WithAlgorithmAuto drives AlgoAuto end to end through the
+// facade: a cross-node all-reduce — a cell the committed tuning table
+// resolves to the hierarchical schedule — must produce exact sums and
+// move the hierarchical run's wire bytes, not the ring's.
+func TestV2WithAlgorithmAuto(t *testing.T) {
+	ringWire := runV2AllReduce(t, dfccl.AlgoRing)
+	hierWire := runV2AllReduce(t, dfccl.AlgoHierarchical)
+	autoWire := runV2AllReduce(t, dfccl.AlgoAuto)
+	if hierWire.RDMA == 0 || hierWire.RDMA >= ringWire.RDMA {
+		t.Fatalf("RDMA bytes: hierarchical=%d ring=%d; want 0 < hierarchical < ring", hierWire.RDMA, ringWire.RDMA)
+	}
+	if autoWire != hierWire {
+		t.Fatalf("auto wire bytes %+v, want the hierarchical run's %+v (table should pick hierarchical here)", autoWire, hierWire)
 	}
 }

@@ -39,7 +39,10 @@ type chaosScenario struct {
 // chaosScenarios builds the gate's fixed fault matrix: one scenario
 // per elastic workload, covering a plain kill (DP), kill+revive under
 // both MoE dispatch algorithms (single-node ring and two-node
-// hierarchical), and a double kill under ZeRO. Kills land mid-run
+// hierarchical), a kill+revive under DP with AlgoAuto on two nodes —
+// where the tuning table resolves the gradient all-reduce to the
+// hierarchical schedule and every re-formation re-resolves it over the
+// surviving shape — and a double kill under ZeRO. Kills land mid-run
 // (iterations take ≳150µs of compute each); revives arrive a few
 // iterations later, forcing a second re-formation back to full
 // strength.
@@ -73,6 +76,18 @@ func chaosScenarios(iters int) []chaosScenario {
 			cfg: chaos.Config{
 				Workload: "moe", Cluster: topo.MultiNode3090(2), Ranks: []int{0, 1, 8, 9},
 				Iterations: iters, Algo: prim.AlgoHierarchical,
+				Schedule: chaos.Schedule{
+					{At: kill, Kind: chaos.Kill, Rank: 9},
+					{At: second, Kind: chaos.Revive, Rank: 9},
+				},
+			},
+			wantReform: true, wantChange: true,
+		},
+		{
+			name: "dp-auto/kill+revive",
+			cfg: chaos.Config{
+				Workload: "dp", Cluster: topo.MultiNode3090(2), Ranks: []int{0, 1, 8, 9},
+				Iterations: iters, Algo: prim.AlgoAuto,
 				Schedule: chaos.Schedule{
 					{At: kill, Kind: chaos.Kill, Rank: 9},
 					{At: second, Kind: chaos.Revive, Rank: 9},

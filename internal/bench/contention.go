@@ -115,7 +115,7 @@ func contentionSweep(nodes, gpus int, oversubs []float64) ([]A2AContentionRow, e
 }
 
 // BenchCell is one row of the machine-readable benchmark matrix
-// (BENCH_pr7.json): an all-to-all size × shape × algorithm × fabric
+// (BENCH_pr8.json): a collective size × shape × algorithm × fabric
 // cell with its end-to-end latency and transport byte split, or a
 // fault-injection cell with its chaos-overhead column.
 type BenchCell struct {
@@ -124,7 +124,13 @@ type BenchCell struct {
 	// Nodes and GPUsPerNode give the cluster shape.
 	Nodes       int `json:"nodes"`
 	GPUsPerNode int `json:"gpus_per_node"`
-	// Elems is the uniform per-pair element count (float64).
+	// Kind is the collective's NCCL-style name for the full-collective
+	// matrix rows ("all-reduce", "all-gather", "reduce-scatter"); empty
+	// on the legacy a2abench and chaos cells, which are all-to-all-v.
+	Kind string `json:"kind,omitempty"`
+	// Elems is the uniform per-pair element count (float64) for
+	// all-to-all cells, and the per-rank Count for the full-collective
+	// matrix cells.
 	Elems int `json:"elems_per_pair"`
 	// Algo is "ring" or "hierarchical".
 	Algo string `json:"algo"`
@@ -146,7 +152,8 @@ type BenchCell struct {
 	ChaosOverheadNs int64 `json:"chaos_overhead_ns,omitempty"`
 }
 
-// A2ABenchMatrix generates the BENCH_pr7.json benchmark matrix:
+// A2ABenchMatrix generates the all-to-all half of the benchmark
+// matrix (FullBenchMatrix appends the full-collective cells):
 // uniform all-to-all at three per-pair sizes across the node shapes,
 // each priced under both algorithms on the unshared fabric and on a
 // 2:1-oversubscribed shared fabric, followed by the fault-injection

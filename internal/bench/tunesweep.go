@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"fmt"
+
+	"dfccl/internal/core"
+	"dfccl/internal/fabric"
+	"dfccl/internal/mem"
+	"dfccl/internal/prim"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+	"dfccl/internal/tune"
+)
+
+// benchCollVal is the deterministic send-buffer fill for the reduction
+// collectives: small exact integers, so every reduction order is exact
+// and cross-algorithm outputs compare byte for byte.
+func benchCollVal(rank, i int) float64 {
+	return float64(1 + (rank*37+i*13)%97)
+}
+
+// CollRunRow is one measured collective run: end-to-end latency, the
+// per-transport wire split, and — for AlgoAuto launches — the concrete
+// algorithm the tuning table resolved to.
+type CollRunRow struct {
+	E2E                 sim.Duration
+	SHMBytes, RDMABytes int
+	Resolved            prim.Algorithm
+}
+
+// benchCollSpec assembles the spec for one benchmark run of a
+// uniform-count collective kind.
+func benchCollSpec(kind prim.Kind, count int, ranks []int, algo prim.Algorithm) prim.Spec {
+	s := prim.Spec{Kind: kind, Count: count, Type: mem.Float64, Ranks: ranks, Algo: algo}
+	switch kind {
+	case prim.AllReduce, prim.ReduceScatter, prim.Reduce:
+		s.Op = mem.Sum
+	}
+	return s
+}
+
+// runCollWith runs one real-data collective over the v2 handle API with
+// the given algorithm (ring, hierarchical, or auto) and fabric (nil =
+// unshared), returning the measured row plus every rank's recv bytes
+// for cross-algorithm comparison.
+func runCollWith(cluster *topo.Cluster, net *fabric.Network, kind prim.Kind, count int, algo prim.Algorithm, tbl *tune.Table) (CollRunRow, [][]byte, error) {
+	n := cluster.Size()
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(600 * sim.Second)
+	cfg := core.DefaultConfig()
+	cfg.Network = net
+	cfg.Tuning = tbl
+	sys := core.NewSystem(e, cluster, cfg)
+	bar := NewBarrier(n)
+	row := CollRunRow{}
+	outs := make([][]byte, n)
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		e.Spawn(fmt.Sprintf("bench.coll.rank%d", rank), func(p *sim.Process) {
+			rc := sys.Init(p, rank)
+			coll, err := rc.Open(benchCollSpec(kind, count, ranks, algo))
+			if err != nil {
+				fail(err)
+				return
+			}
+			if rank == 0 {
+				row.Resolved = coll.Spec().Algo
+			}
+			sendCount, recvCount := prim.BufferCountsFor(coll.Spec(), rank)
+			send := mem.NewBuffer(mem.DeviceSpace, mem.Float64, sendCount)
+			recv := mem.NewBuffer(mem.DeviceSpace, mem.Float64, recvCount)
+			for i := 0; i < sendCount; i++ {
+				send.SetFloat64(i, benchCollVal(rank, i))
+			}
+			bar.Wait(p)
+			start := p.Now()
+			fut, err := coll.Launch(p, send, recv)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := fut.Wait(p); err != nil {
+				fail(err)
+				return
+			}
+			if rank == 0 {
+				row.E2E = p.Now().Sub(start)
+			}
+			st := coll.Stats()
+			row.SHMBytes += st.BytesSentBy.SHM
+			row.RDMABytes += st.BytesSentBy.RDMA
+			outs[rank] = append([]byte(nil), recv.Bytes()...)
+			if err := coll.Close(p); err != nil {
+				fail(err)
+			}
+			rc.Destroy(p)
+		})
+	}
+	err := e.Run()
+	if firstErr != nil {
+		return row, nil, firstErr
+	}
+	if err != nil {
+		return row, nil, fmt.Errorf("bench: %v/%v: %w", kind, algo, err)
+	}
+	return row, outs, nil
+}
+
+// tuneShapes are the node shapes the sweep (and the committed table)
+// covers; the picker nearest-matches shapes in between.
+var tuneShapes = []struct{ nodes, gpus int }{{1, 4}, {2, 2}, {2, 4}, {4, 4}}
+
+// tuneProbeSizes is the per-rank payload ladder (elements) the sweep
+// probes for each crossover.
+var tuneProbeSizes = []int{16, 128, 1024, 4096}
+
+// tuneKinds are the collectives with a hierarchical schedule to tune.
+var tuneKinds = []prim.Kind{
+	prim.AllReduce, prim.AllGather, prim.ReduceScatter, prim.AllToAll, prim.AllToAllv,
+}
+
+// TuneSweep is the auto-tuning sweep driver: for every (kind, node
+// shape) cell it measures the flat ring against the hierarchical
+// schedule across the probe-size ladder on the unshared fabric and
+// derives the crossover — the smallest probed payload from which the
+// hierarchical schedule never measured slower. The result is the
+// committed tuning table (internal/tune/default_table.json, written by
+// `trainbench -fig tune`); the sweep is deterministic, so regeneration
+// is a no-op diff.
+func TuneSweep() (*tune.Table, error) {
+	tbl := &tune.Table{}
+	for _, shape := range tuneShapes {
+		for _, kind := range tuneKinds {
+			n := shape.nodes * shape.gpus
+			keys := make([]int, 0, len(tuneProbeSizes))
+			wins := make([]bool, 0, len(tuneProbeSizes))
+			for _, size := range tuneProbeSizes {
+				count := size
+				if kind == prim.ReduceScatter {
+					count = ((size + n - 1) / n) * n // recv shares must divide evenly
+				}
+				ringE2E, hierE2E, err := probeCell(shape.nodes, shape.gpus, kind, count)
+				if err != nil {
+					return nil, err
+				}
+				key := count
+				if kind == prim.AllToAllv {
+					key = size // uniform matrix: mean per-pair count == size
+				}
+				keys = append(keys, key)
+				wins = append(wins, hierE2E <= ringE2E)
+			}
+			cross := -1
+			for i := len(wins) - 1; i >= 0; i-- {
+				if !wins[i] {
+					break
+				}
+				cross = keys[i]
+			}
+			if cross == keys[0] && wins[0] {
+				cross = 0 // hierarchical won at every probe
+			}
+			tbl.Rows = append(tbl.Rows, tune.Row{
+				Kind: kind.String(), Nodes: shape.nodes, GPUsPerNode: shape.gpus,
+				Fabric: "unshared", CrossoverElems: cross,
+			})
+		}
+	}
+	return tbl, nil
+}
+
+// probeCell measures one (shape, kind, count) cell under both concrete
+// algorithms on the unshared fabric.
+func probeCell(nodes, gpus int, kind prim.Kind, count int) (ringE2E, hierE2E sim.Duration, err error) {
+	if kind == prim.AllToAllv {
+		n := nodes * gpus
+		counts := make([][]int, n)
+		for i := range counts {
+			counts[i] = make([]int, n)
+			for j := range counts[i] {
+				counts[i][j] = count
+			}
+		}
+		for _, algo := range []prim.Algorithm{prim.AlgoRing, prim.AlgoHierarchical} {
+			row, _, e := runA2A(topo.NewCluster(nodes, gpus, topo.RTX3090, topo.DefaultLinks), counts, algo)
+			if e != nil {
+				return 0, 0, e
+			}
+			if algo == prim.AlgoRing {
+				ringE2E = row.E2E
+			} else {
+				hierE2E = row.E2E
+			}
+		}
+		return ringE2E, hierE2E, nil
+	}
+	for _, algo := range []prim.Algorithm{prim.AlgoRing, prim.AlgoHierarchical} {
+		cluster := topo.NewCluster(nodes, gpus, topo.RTX3090, topo.DefaultLinks)
+		row, _, e := runCollWith(cluster, nil, kind, count, algo, nil)
+		if e != nil {
+			return 0, 0, e
+		}
+		if algo == prim.AlgoRing {
+			ringE2E = row.E2E
+		} else {
+			hierE2E = row.E2E
+		}
+	}
+	return ringE2E, hierE2E, nil
+}
+
+// AutoGateRow is one cell of the ring-vs-hierarchical-vs-auto gate.
+type AutoGateRow struct {
+	Kind               prim.Kind
+	Nodes, GPUsPerNode int
+	Elems              int
+	RingE2E, HierE2E   sim.Duration
+	AutoE2E            sim.Duration
+	// Resolved is the concrete algorithm AlgoAuto resolved to.
+	Resolved prim.Algorithm
+	// BitIdentical reports the auto run's outputs matched the ring
+	// reference byte for byte.
+	BitIdentical bool
+}
+
+// Winner is the faster concrete algorithm of the cell.
+func (r AutoGateRow) Winner() sim.Duration {
+	if r.HierE2E < r.RingE2E {
+		return r.HierE2E
+	}
+	return r.RingE2E
+}
+
+// Pass reports whether auto matched the per-cell winner within the
+// gate tolerance.
+func (r AutoGateRow) Pass() bool {
+	return r.BitIdentical && float64(r.AutoE2E) <= float64(r.Winner())*autoGateTolerance
+}
+
+// String renders the row as one gate-table line.
+func (r AutoGateRow) String() string {
+	return fmt.Sprintf("%-14v %d×%d GPUs %6d elems  ring=%-12v hier=%-12v auto=%-12v ->%-13v identical=%v pass=%v",
+		r.Kind, r.Nodes, r.GPUsPerNode, r.Elems, r.RingE2E, r.HierE2E, r.AutoE2E, r.Resolved, r.BitIdentical, r.Pass())
+}
+
+// autoGateTolerance is the slack the gate allows between the auto pick
+// and the per-cell winner: the sweep and the gate measure the same
+// deterministic cells, so auto should match the winner exactly
+// wherever the crossover representation can express it; the tolerance
+// only absorbs cells where a non-monotone win pattern forced the
+// conservative (ring) side of the crossover.
+const autoGateTolerance = 1.02
+
+// AutoAlgoGate is the `-fig ar` gate: for every (reduction kind, node
+// shape, payload) cell it measures ring, hierarchical, and auto, and
+// requires the auto pick to land on the per-cell winner within
+// tolerance with bit-identical outputs. Returns the rows and whether
+// every cell passed.
+func AutoAlgoGate() ([]AutoGateRow, bool, error) {
+	kinds := []prim.Kind{prim.AllReduce, prim.AllGather, prim.ReduceScatter}
+	shapes := []struct{ nodes, gpus int }{{1, 4}, {2, 4}, {4, 4}}
+	sizes := []int{16, 1024, 4096}
+	var rows []AutoGateRow
+	ok := true
+	for _, shape := range shapes {
+		for _, kind := range kinds {
+			for _, size := range sizes {
+				n := shape.nodes * shape.gpus
+				count := size
+				if kind == prim.ReduceScatter {
+					count = ((size + n - 1) / n) * n
+				}
+				newCluster := func() *topo.Cluster {
+					return topo.NewCluster(shape.nodes, shape.gpus, topo.RTX3090, topo.DefaultLinks)
+				}
+				ringRow, ringOuts, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoRing, nil)
+				if err != nil {
+					return nil, false, err
+				}
+				hierRow, _, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoHierarchical, nil)
+				if err != nil {
+					return nil, false, err
+				}
+				autoRow, autoOuts, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoAuto, nil)
+				if err != nil {
+					return nil, false, err
+				}
+				row := AutoGateRow{
+					Kind: kind, Nodes: shape.nodes, GPUsPerNode: shape.gpus, Elems: count,
+					RingE2E: ringRow.E2E, HierE2E: hierRow.E2E, AutoE2E: autoRow.E2E,
+					Resolved:     autoRow.Resolved,
+					BitIdentical: bytesEqual(ringOuts, autoOuts),
+				}
+				ok = ok && row.Pass()
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, ok, nil
+}
+
+// CollBenchCells generates the full-collective half of the benchmark
+// matrix: the three reduction kinds × payload sizes × ring /
+// hierarchical / auto × node shapes, each priced on the unshared
+// fabric and on a 2:1-oversubscribed shared fabric. Deterministic by
+// construction, like A2ABenchMatrix.
+func CollBenchCells() ([]BenchCell, error) {
+	const benchOversub = 2.0
+	kinds := []prim.Kind{prim.AllReduce, prim.AllGather, prim.ReduceScatter}
+	var cells []BenchCell
+	for _, shape := range []struct{ nodes, gpus int }{{1, 4}, {2, 4}, {4, 4}} {
+		for _, kind := range kinds {
+			for _, elems := range []int{64, 512, 4096} {
+				n := shape.nodes * shape.gpus
+				count := elems
+				if kind == prim.ReduceScatter {
+					count = ((elems + n - 1) / n) * n
+				}
+				for _, algo := range []prim.Algorithm{prim.AlgoRing, prim.AlgoHierarchical, prim.AlgoAuto} {
+					for _, shared := range []bool{false, true} {
+						cluster := topo.NewCluster(shape.nodes, shape.gpus, topo.RTX3090, topo.DefaultLinks)
+						var net *fabric.Network
+						cell := BenchCell{
+							Figure: "collbench", Kind: kind.String(),
+							Nodes: shape.nodes, GPUsPerNode: shape.gpus,
+							Elems: count, Algo: fmt.Sprint(algo), Fabric: "unshared",
+						}
+						if shared {
+							net = fabric.Shared(cluster, fabric.OversubConfig(benchOversub))
+							cell.Fabric = fmt.Sprintf("oversub%g", benchOversub)
+							cell.Oversub = benchOversub
+						}
+						row, _, err := runCollWith(cluster, net, kind, count, algo, nil)
+						if err != nil {
+							return nil, err
+						}
+						cell.E2ENs = int64(row.E2E)
+						cell.SHMBytes, cell.RDMABytes = row.SHMBytes, row.RDMABytes
+						cells = append(cells, cell)
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FullBenchMatrix is the BENCH_pr8.json matrix: the all-to-all and
+// chaos cells of A2ABenchMatrix followed by the full-collective cells.
+func FullBenchMatrix() ([]BenchCell, error) {
+	cells, err := A2ABenchMatrix()
+	if err != nil {
+		return nil, err
+	}
+	collCells, err := CollBenchCells()
+	if err != nil {
+		return nil, err
+	}
+	return append(cells, collCells...), nil
+}

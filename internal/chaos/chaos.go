@@ -77,8 +77,11 @@ type Config struct {
 	Ranks []int
 	// Iterations is the number of training iterations to commit.
 	Iterations int
-	// Algo selects the MoE dispatch algorithm (ring or hierarchical);
-	// ignored by the other workloads.
+	// Algo selects the collective algorithm for the workload's data
+	// exchanges (the MoE dispatch, the DP gradient all-reduce, the ZeRO
+	// reduce-scatter/all-gather pair): ring, hierarchical, or auto —
+	// with auto the tuning table resolves the concrete algorithm per
+	// (kind, shape) at every re-formation.
 	Algo prim.Algorithm
 	// Schedule is the fault script.
 	Schedule Schedule

@@ -31,11 +31,11 @@ type workload interface {
 func newWorkload(cfg Config) (workload, error) {
 	switch cfg.Workload {
 	case "dp":
-		return &dpWorkload{layers: cfg.Layers}, nil
+		return &dpWorkload{layers: cfg.Layers, algo: cfg.Algo}, nil
 	case "moe":
 		return &moeWorkload{algo: cfg.Algo}, nil
 	case "zero":
-		return &zeroWorkload{}, nil
+		return &zeroWorkload{algo: cfg.Algo}, nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown workload %q", cfg.Workload)
 	}
@@ -68,6 +68,7 @@ func dpLayerCount(l int) int { return 8 + 4*l }
 
 type dpWorkload struct {
 	layers  int
+	algo    prim.Algorithm
 	handles []*core.Collective
 	sends   []*mem.Buffer
 	recvs   []*mem.Buffer
@@ -76,7 +77,7 @@ type dpWorkload struct {
 func (w *dpWorkload) setup(p *sim.Process, rc *core.RankContext, members []int) error {
 	for l := 0; l < w.layers; l++ {
 		count := dpLayerCount(l)
-		h, err := rc.Open(prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float64, Op: mem.Sum, Ranks: members})
+		h, err := rc.Open(prim.Spec{Kind: prim.AllReduce, Count: count, Type: mem.Float64, Op: mem.Sum, Ranks: members, Algo: w.algo})
 		if err != nil {
 			return err
 		}
@@ -288,6 +289,7 @@ func zGrad(r, it, i int) float64 { return float64((r*5+it*3+i)%7 - 3) }
 func zShard(r, it, i int) float64 { return float64((r*11+it*2+i)%13 - 6) }
 
 type zeroWorkload struct {
+	algo           prim.Algorithm
 	rs, ag         *core.Collective
 	rsSend, rsRecv *mem.Buffer
 	agSend, agRecv *mem.Buffer
@@ -296,11 +298,11 @@ type zeroWorkload struct {
 func (w *zeroWorkload) setup(p *sim.Process, rc *core.RankContext, members []int) error {
 	n := len(members)
 	full := zeroShardElems * n
-	rs, err := rc.Open(prim.Spec{Kind: prim.ReduceScatter, Count: full, Type: mem.Float64, Op: mem.Sum, Ranks: members})
+	rs, err := rc.Open(prim.Spec{Kind: prim.ReduceScatter, Count: full, Type: mem.Float64, Op: mem.Sum, Ranks: members, Algo: w.algo})
 	if err != nil {
 		return err
 	}
-	ag, err := rc.Open(prim.Spec{Kind: prim.AllGather, Count: zeroShardElems, Type: mem.Float64, Ranks: members})
+	ag, err := rc.Open(prim.Spec{Kind: prim.AllGather, Count: zeroShardElems, Type: mem.Float64, Ranks: members, Algo: w.algo})
 	if err != nil {
 		rs.Close(p)
 		return err

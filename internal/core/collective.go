@@ -109,6 +109,15 @@ func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, err
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// AlgoAuto resolves to a concrete algorithm before registration, so
+	// the group's spec — and everything keyed on it: fingerprint-derived
+	// auto IDs, re-registration identity, Reform's survivor spec — only
+	// ever carries ring or hierarchical. Resolution is deterministic
+	// (same table, same spec, same cluster), so all ranks converge on
+	// the same concrete algorithm without coordination.
+	if spec.Algo == prim.AlgoAuto {
+		spec.Algo = r.sys.resolveAlgo(spec)
+	}
 	id := o.collID
 	if !o.hasID {
 		id = r.sys.autoCollID(r, spec)

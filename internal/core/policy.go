@@ -3,6 +3,7 @@ package core
 import (
 	"dfccl/internal/fabric"
 	"dfccl/internal/sim"
+	"dfccl/internal/tune"
 )
 
 // SpinPolicy configures the spin-threshold half of the stickiness
@@ -156,6 +157,12 @@ type Config struct {
 	// transaction, paying the full PCIe read cost once per batch and a
 	// small per-entry parse cost for the rest.
 	BatchedSQERead bool
+	// Tuning is the algorithm auto-tuning table specs opened with
+	// prim.AlgoAuto resolve against at Open time (keyed by kind,
+	// payload size, and the node shape the rank set spans). nil selects
+	// tune.Default(), the committed artifact regenerated by the sweep
+	// driver (bench.TuneSweep / `trainbench -fig tune`).
+	Tuning *tune.Table
 	// Network prices every transfer of the deployment. nil selects
 	// fabric.Unshared over the system's cluster — the legacy
 	// independent Path.TransferTime pricing, bit-identical to pre-fabric

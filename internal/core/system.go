@@ -10,6 +10,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/tune"
 )
 
 // System is a DFCCL deployment across a cluster: one simulated device
@@ -25,6 +26,9 @@ type System struct {
 	ranks  []*RankContext
 	groups map[int]*Group
 	pool   *commPool
+	// tuning memoizes the resolved auto-tuning table (Config.Tuning or
+	// the parsed embedded default) across Opens.
+	tuning *tune.Table
 
 	// autoIDs maps a spec fingerprint to the collective IDs the system
 	// has assigned for it (in allocation order); nextAutoID is the next
@@ -181,6 +185,18 @@ func (s *System) autoCollID(r *RankContext, spec prim.Spec) int {
 	s.nextAutoID++
 	s.autoIDs[key] = append(s.autoIDs[key], id)
 	return id
+}
+
+// resolveAlgo picks the concrete algorithm for a spec opened with
+// prim.AlgoAuto, consulting the deployment's tuning table (or the
+// committed default) with the node shape the spec's rank set spans.
+func (s *System) resolveAlgo(spec prim.Spec) prim.Algorithm {
+	if s.tuning == nil {
+		if s.tuning = s.Config.Tuning; s.tuning == nil {
+			s.tuning = tune.Default()
+		}
+	}
+	return s.tuning.PickFor(s.Cluster, spec)
 }
 
 // sameSpec reports whether two specs are interchangeable for

@@ -17,6 +17,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/tune"
 )
 
 // KernelStartup is the fixed in-kernel setup cost before primitives run
@@ -43,7 +44,10 @@ type Lib struct {
 	// NewOnFabric to run the baseline over a shared congestion-aware
 	// network, so NCCL-vs-DFCCL comparisons can price both libraries on
 	// the same contended fabric.
-	Net    *fabric.Network
+	Net *fabric.Network
+	// Tuning is the table prim.AlgoAuto launches resolve against; nil
+	// selects tune.Default(), the committed artifact.
+	Tuning *tune.Table
 	engine *sim.Engine
 	comms  int
 }
@@ -125,6 +129,18 @@ func (c *Comm) pos(rank int) int {
 func (c *Comm) Launch(p *sim.Process, stream *cudasim.Stream, rank int, spec prim.Spec, sendBuf, recvBuf *mem.Buffer) *cudasim.KernelInstance {
 	if len(spec.Ranks) == 0 {
 		spec.Ranks = c.Ranks
+	}
+	// AlgoAuto resolves here, at launch time: unlike DFCCL's registered
+	// groups, NCCL-style calls carry their spec per invocation, so the
+	// tuning table is consulted per launch (deterministically — every
+	// rank picks the same concrete algorithm for the same call).
+	if spec.Algo == prim.AlgoAuto {
+		tbl := c.lib.Tuning
+		if tbl == nil {
+			tbl = tune.Default()
+			c.lib.Tuning = tbl
+		}
+		spec.Algo = tbl.PickFor(c.lib.Cluster, spec)
 	}
 	pos := c.pos(rank)
 	var x *prim.Executor

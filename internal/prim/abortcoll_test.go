@@ -1,0 +1,173 @@
+package prim
+
+import (
+	"fmt"
+	"testing"
+
+	"dfccl/internal/mem"
+	"dfccl/internal/sim"
+	"dfccl/internal/topo"
+)
+
+// collVictimTrajectory is victimTrajectory for the reduction
+// collectives: it runs the hierarchical exchange fault-free and
+// returns the victim's checkpoint snapshot before each of its StepOnce
+// calls.
+func collVictimTrajectory(t *testing.T, c *topo.Cluster, spec Spec, victim int) []abortState {
+	t.Helper()
+	fab := BuildHierFabric(c, spec.Ranks, "tca")
+	n := spec.N()
+	execs := make([]*Executor, n)
+	for i := 0; i < n; i++ {
+		sendCount, recvCount := BufferCountsFor(spec, i)
+		s := mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount)
+		fillColl(i, s)
+		execs[i] = fab.ExecutorFor(c, spec, i, s, mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount))
+	}
+	var traj []abortState
+	e := sim.NewEngine()
+	for i := 0; i < n; i++ {
+		i, x := i, execs[i]
+		e.Spawn("rank", func(p *sim.Process) {
+			for {
+				if i == victim {
+					traj = append(traj, snapState(x))
+				}
+				if x.StepOnce(p, -1) == Done {
+					return
+				}
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	return traj
+}
+
+// TestHierCollAbortCheckpointTable mirrors TestHierAbortCheckpointTable
+// for the three new hierarchical reduction collectives: for a leader
+// and a non-leader victim, the victim is killed after every step count
+// in its fault-free trajectory — visiting every (stage, round) pair of
+// its multi-stage sequence, including the leader-only inter-ring
+// stages. Every survivor must end Done or Aborted with no hang, and a
+// repeated StepOnce after Aborted must leave the frozen checkpoint
+// (Stage, Round, Step, Phase) and byte counters bit-identical.
+func TestHierCollAbortCheckpointTable(t *testing.T) {
+	c := topo.NewCluster(2, 2, topo.RTX3090, topo.DefaultLinks)
+	specs := []Spec{
+		{Kind: AllReduce, Count: 24, Type: mem.Float64, Op: mem.Sum,
+			Ranks: []int{0, 1, 2, 3}, ChunkElems: 5, Algo: AlgoHierarchical},
+		{Kind: AllGather, Count: 6, Type: mem.Float64,
+			Ranks: []int{0, 1, 2, 3}, ChunkElems: 5, Algo: AlgoHierarchical},
+		{Kind: ReduceScatter, Count: 24, Type: mem.Float64, Op: mem.Sum,
+			Ranks: []int{0, 1, 2, 3}, ChunkElems: 5, Algo: AlgoHierarchical},
+	}
+	for _, spec := range specs {
+		spec := spec
+		for _, victim := range []int{0, 3} { // node-0 leader; node-1 non-leader
+			victim := victim
+			t.Run(fmt.Sprintf("%v-victim%d", spec.Kind, victim), func(t *testing.T) {
+				traj := collVictimTrajectory(t, c, spec, victim)
+				if len(traj) < 4 {
+					t.Fatalf("victim trajectory only %d steps; table would be vacuous", len(traj))
+				}
+				// Coverage: killing after every step index visits every
+				// (stage, round) pair of the victim's sequence.
+				visited := map[[2]int]bool{}
+				for _, st := range traj {
+					visited[[2]int{st.Stage, st.Round}] = true
+				}
+				seq := spec.HierSequenceFor(victim, GroupByNode(c, spec.Ranks))
+				for sIdx, stage := range seq.Stages {
+					for r := 0; r < stage.Rounds; r++ {
+						if !visited[[2]int{sIdx, r}] {
+							t.Fatalf("trajectory never visits stage %d (%s) round %d", sIdx, stage.Label, r)
+						}
+					}
+				}
+
+				for kill := 0; kill < len(traj); kill++ {
+					kill := kill
+					fab := BuildHierFabric(c, spec.Ranks, "tck")
+					n := spec.N()
+					execs := make([]*Executor, n)
+					dead := false
+					for i := 0; i < n; i++ {
+						sendCount, recvCount := BufferCountsFor(spec, i)
+						s := mem.NewBuffer(mem.DeviceSpace, spec.Type, sendCount)
+						fillColl(i, s)
+						execs[i] = fab.ExecutorFor(c, spec, i, s, mem.NewBuffer(mem.DeviceSpace, spec.Type, recvCount))
+						if i != victim {
+							execs[i].AbortCheck = func() bool { return dead }
+						}
+					}
+					e := sim.NewEngine()
+					e.MaxTime = sim.Time(60 * sim.Second) // hang -> test failure, not CI timeout
+					vx := execs[victim]
+					e.Spawn("victim", func(p *sim.Process) {
+						for i := 0; i < kill; i++ {
+							if vx.StepOnce(p, -1) == Done {
+								break
+							}
+						}
+						dead = true
+						fab.WakeAll(p.Engine())
+					})
+					results := make([]StepResult, n)
+					for i := 0; i < n; i++ {
+						if i == victim {
+							continue
+						}
+						i, x := i, execs[i]
+						e.Spawn("survivor", func(p *sim.Process) {
+							for {
+								r := x.StepOnce(p, -1)
+								if r == Done || r == Aborted {
+									results[i] = r
+									break
+								}
+							}
+							if results[i] != Aborted {
+								return
+							}
+							// Abort idempotence: the checkpoint is frozen.
+							before := snapState(x)
+							if r := x.StepOnce(p, -1); r != Aborted {
+								t.Errorf("kill@%d survivor %d: StepOnce after abort = %v, want Aborted", kill, i, r)
+							}
+							if after := snapState(x); after != before {
+								t.Errorf("kill@%d survivor %d: abort moved checkpoint %+v -> %+v", kill, i, before, after)
+							}
+							if x.Stage > x.Seq.NumStages() {
+								t.Errorf("kill@%d survivor %d: stage %d out of range", kill, i, x.Stage)
+							}
+						})
+					}
+					if err := e.Run(); err != nil {
+						t.Fatalf("kill@%d (victim state %+v): %v", kill, traj[kill], err)
+					}
+					for i := 0; i < n; i++ {
+						if i != victim && results[i] != Done && results[i] != Aborted {
+							t.Fatalf("kill@%d survivor %d ended %v, want Done or Aborted", kill, i, results[i])
+						}
+					}
+					// Killing before the victim moved anything must abort
+					// every survivor that depends on it; at minimum, not
+					// all survivors can complete when the victim never ran.
+					if kill == 0 {
+						done := 0
+						for i := 0; i < n; i++ {
+							if i != victim && results[i] == Done {
+								done++
+							}
+						}
+						if done == n-1 {
+							t.Fatalf("kill@0: all survivors finished without the victim")
+						}
+					}
+				}
+			})
+		}
+	}
+}

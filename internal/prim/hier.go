@@ -127,10 +127,13 @@ func uniformCounts(n, count int) [][]int {
 	return m
 }
 
-// HierSequenceFor builds the hierarchical all-to-all(-v) sequence for
-// the participant at ring position pos, given the node grouping. Spec
-// validation must have passed and s.Algo must be AlgoHierarchical;
-// executors over these sequences need the matching HierFabric wiring.
+// HierSequenceFor builds the hierarchical sequence for the participant
+// at ring position pos, given the node grouping. Spec validation must
+// have passed and s.Algo must be AlgoHierarchical; executors over
+// these sequences need the matching HierFabric wiring. The all-to-all
+// variants use the four-phase gather/ring/scatter schedule of this
+// file; all-reduce, all-gather, and reduce-scatter use the two-level
+// reduction schedules of hiercoll.go over the same wiring.
 func (s Spec) HierSequenceFor(pos int, g NodeGrouping) *Sequence {
 	if err := s.Validate(); err != nil {
 		panic(err)
@@ -138,6 +141,24 @@ func (s Spec) HierSequenceFor(pos int, g NodeGrouping) *Sequence {
 	if s.Algo != AlgoHierarchical {
 		panic(fmt.Sprintf("prim: HierSequenceFor on a %v spec", s.Algo))
 	}
+	switch s.Kind {
+	case AllToAll, AllToAllv:
+		return s.hierAllToAllSeq(pos, g)
+	case AllReduce:
+		return s.hierAllReduceSeq(pos, g)
+	case AllGather:
+		return s.hierAllGatherSeq(pos, g)
+	case ReduceScatter:
+		return s.hierReduceScatterSeq(pos, g)
+	default:
+		panic(fmt.Sprintf("prim: no hierarchical sequence for kind %v", s.Kind))
+	}
+}
+
+// hierAllToAllSeq builds the hierarchical all-to-all(-v) sequence:
+// intra-node direct exchange, pack/gather-to-leader, the ragged
+// inter-leader ring over per-node aggregates, and scatter-from-leader.
+func (s Spec) hierAllToAllSeq(pos int, g NodeGrouping) *Sequence {
 	n := s.N()
 	cnt := s.Counts
 	if s.Kind == AllToAll {

@@ -438,10 +438,12 @@ func TestHierPreemptAndResume(t *testing.T) {
 }
 
 func TestHierValidate(t *testing.T) {
-	// Hierarchical is an all-to-all algorithm; other kinds reject it,
-	// and unknown algorithm values reject everywhere.
+	// Hierarchical serves the all-to-all variants and the reduction
+	// collectives; the rooted chain kinds reject it, and unknown
+	// algorithm values reject everywhere. AlgoAuto validates on every
+	// kind (it resolves before a sequence is built).
 	bad := []Spec{
-		{Kind: AllReduce, Count: 8, Type: mem.Float64, Op: mem.Sum, Ranks: []int{0, 1}, Algo: AlgoHierarchical},
+		{Kind: Reduce, Count: 8, Type: mem.Float64, Op: mem.Sum, Ranks: []int{0, 1}, Algo: AlgoHierarchical},
 		{Kind: Broadcast, Count: 8, Type: mem.Float64, Ranks: []int{0, 1}, Algo: AlgoHierarchical},
 		{Kind: AllToAll, Count: 8, Type: mem.Float64, Ranks: []int{0, 1}, Algo: Algorithm(99)},
 	}
@@ -450,13 +452,32 @@ func TestHierValidate(t *testing.T) {
 			t.Errorf("case %d: Validate accepted %v on %v", i, s.Algo, s.Kind)
 		}
 	}
-	good := hierSpec([][]int{{0, 3}, {2, 0}}, 4)
-	if err := good.Validate(); err != nil {
-		t.Errorf("valid hierarchical spec rejected: %v", err)
+	good := []Spec{
+		hierSpec([][]int{{0, 3}, {2, 0}}, 4),
+		{Kind: AllReduce, Count: 8, Type: mem.Float64, Op: mem.Sum, Ranks: []int{0, 1}, Algo: AlgoHierarchical},
+		{Kind: AllGather, Count: 8, Type: mem.Float64, Ranks: []int{0, 1}, Algo: AlgoHierarchical},
+		{Kind: ReduceScatter, Count: 8, Type: mem.Float64, Op: mem.Sum, Ranks: []int{0, 1}, Algo: AlgoHierarchical},
+		{Kind: Broadcast, Count: 8, Type: mem.Float64, Ranks: []int{0, 1}, Algo: AlgoAuto},
+		{Kind: AllReduce, Count: 8, Type: mem.Float64, Op: mem.Sum, Ranks: []int{0, 1}, Algo: AlgoAuto},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d: valid %v %v spec rejected: %v", i, s.Algo, s.Kind, err)
+		}
 	}
 	// Fingerprints must distinguish algorithms (re-registration safety).
 	ring := vSpec([][]int{{0, 3}, {2, 0}}, 4)
-	if ring.Fingerprint() == good.Fingerprint() {
+	if ring.Fingerprint() == good[0].Fingerprint() {
 		t.Error("ring and hierarchical specs share a fingerprint")
 	}
+	// An unresolved AlgoAuto must never reach a sequence builder.
+	auto := Spec{Kind: AllReduce, Count: 8, Type: mem.Float64, Op: mem.Sum, Ranks: []int{0, 1}, Algo: AlgoAuto}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SequenceFor built a sequence from an unresolved AlgoAuto spec")
+			}
+		}()
+		auto.SequenceFor(0)
+	}()
 }

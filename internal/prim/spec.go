@@ -51,7 +51,9 @@ const (
 // Algorithm selects the primitive-sequence algorithm a collective's
 // executors run. The zero value (AlgoRing) is the flat ring the paper
 // evaluates for every collective; AlgoHierarchical is the topology-
-// aware two-tier schedule available for the all-to-all variants.
+// aware two-tier schedule available for the all-to-all variants,
+// all-reduce, all-gather, and reduce-scatter; AlgoAuto defers the
+// choice to the runtime's tuning table.
 type Algorithm int
 
 const (
@@ -60,23 +62,33 @@ const (
 	// all-to-all variants — topology-blind, so on multi-node clusters
 	// cross-node hops and even intra-node wrap-around blocks pay RDMA.
 	AlgoRing Algorithm = iota
-	// AlgoHierarchical is the two-tier all-to-all: same-node blocks
-	// move directly over SHM-speed intra-node connectors, cross-node
-	// blocks are gathered to a per-node leader, carried between
-	// leaders by a ring of aggregated (ragged) blocks over RDMA, and
-	// scattered from the receiving leader — strictly fewer inter-node
-	// bytes than the flat ring whenever a node holds more than one
-	// rank. Only the all-to-all variants support it.
+	// AlgoHierarchical is the two-tier schedule: intra-node traffic
+	// moves directly over SHM-speed connectors (a full mesh within
+	// each node), cross-node traffic is funnelled through one leader
+	// per node and carried between leaders by a ring over RDMA — never
+	// more inter-node bytes than the flat ring, strictly fewer
+	// whenever a node holds more than one rank. Supported for the
+	// all-to-all variants (PR 4), all-reduce (intra reduce-scatter →
+	// inter-leader ring all-reduce → broadcast), all-gather, and
+	// reduce-scatter; Reduce and Broadcast remain ring/chain-only.
 	AlgoHierarchical
+	// AlgoAuto resolves to a concrete algorithm (ring or hierarchical)
+	// at Open/Launch time from the runtime's tuning table, keyed by
+	// (kind, payload size, node shape). Valid on every kind — kinds
+	// without a hierarchical variant always resolve to the ring. An
+	// unresolved AlgoAuto never reaches a sequence builder.
+	AlgoAuto
 )
 
-// String names the algorithm ("ring", "hierarchical").
+// String names the algorithm ("ring", "hierarchical", "auto").
 func (a Algorithm) String() string {
 	switch a {
 	case AlgoRing:
 		return "ring"
 	case AlgoHierarchical:
 		return "hierarchical"
+	case AlgoAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -155,11 +167,14 @@ type Spec struct {
 	// gradient data per simulated iteration.
 	TimingOnly bool
 	// Algo selects the primitive-sequence algorithm. The zero value is
-	// the flat ring; AlgoHierarchical (all-to-all variants only) tiers
-	// the exchange by node topology. Two registrations of the same
-	// collective ID must agree on it — sameSpec and Fingerprint treat
-	// the algorithm as part of the collective's identity, because ring
-	// and hierarchical executors use incompatible wiring.
+	// the flat ring; AlgoHierarchical (all-to-all variants, all-reduce,
+	// all-gather, reduce-scatter) tiers the exchange by node topology;
+	// AlgoAuto is resolved to one of the two from the tuning table at
+	// Open/Launch time, before the spec is registered. Two
+	// registrations of the same collective ID must agree on it —
+	// sameSpec and Fingerprint treat the algorithm as part of the
+	// collective's identity, because ring and hierarchical executors
+	// use incompatible wiring.
 	Algo Algorithm
 }
 
@@ -216,10 +231,14 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("prim: spec has no ranks")
 	}
 	switch s.Algo {
-	case AlgoRing:
+	case AlgoRing, AlgoAuto:
+		// The ring serves every kind; auto resolves to a supported
+		// algorithm before any sequence is built.
 	case AlgoHierarchical:
-		if s.Kind != AllToAll && s.Kind != AllToAllv {
-			return fmt.Errorf("prim: algorithm %v only applies to the all-to-all variants (kind %v)", s.Algo, s.Kind)
+		switch s.Kind {
+		case AllToAll, AllToAllv, AllReduce, AllGather, ReduceScatter:
+		default:
+			return fmt.Errorf("prim: algorithm %v does not support kind %v", s.Algo, s.Kind)
 		}
 	default:
 		return fmt.Errorf("prim: unknown algorithm %v", s.Algo)
@@ -572,6 +591,9 @@ func (s Spec) SequenceFor(pos int) *Sequence {
 	}
 	if s.Algo == AlgoHierarchical {
 		panic("prim: hierarchical sequences need node grouping; build executors through HierFabric")
+	}
+	if s.Algo == AlgoAuto {
+		panic("prim: AlgoAuto must be resolved to a concrete algorithm before building sequences")
 	}
 	if pos < 0 || pos >= s.N() {
 		panic(fmt.Sprintf("prim: position %d out of range (n=%d)", pos, s.N()))

@@ -29,6 +29,13 @@ type ZeROConfig struct {
 	// default to 0.5, which keeps every update exact in float64 (and
 	// thus bit-for-bit comparable with the unsharded reference).
 	LR, Momentum float64
+	// Algo selects the algorithm of every ZeRO collective (the stage-1
+	// AllReduce, the stage-2/3 ReduceScatter, and the parameter
+	// AllGathers): zero value = flat ring, prim.AlgoHierarchical = the
+	// two-tier schedule, prim.AlgoAuto = the tuning-table pick. The
+	// end-of-run bit-for-bit comparison against the unsharded reference
+	// holds under every choice, because the run's arithmetic is exact.
+	Algo prim.Algorithm
 	// Churn opens the iteration's per-layer collectives fresh each
 	// iteration and closes them after — the open/close load ZeRO's
 	// layer-granular communication puts on the communicator pool.
@@ -191,17 +198,17 @@ func runZeRORank(p *sim.Process, cluster *topo.Cluster, db orch.DataBackend, dyn
 		for li, st := range layers {
 			var gradSpec prim.Spec
 			if cfg.Stage == 1 {
-				gradSpec = prim.Spec{Kind: prim.AllReduce, Count: st.padded, Type: mem.Float64, Op: mem.Sum, Ranks: ranks}
+				gradSpec = prim.Spec{Kind: prim.AllReduce, Count: st.padded, Type: mem.Float64, Op: mem.Sum, Ranks: ranks, Algo: cfg.Algo}
 				if err := db.RegisterData(p, rank, collID(it, li, zeroSlotGrad), gradSpec, 0, st.gradFull, st.gradSum); err != nil {
 					return err
 				}
 			} else {
-				gradSpec = prim.Spec{Kind: prim.ReduceScatter, Count: st.padded, Type: mem.Float64, Op: mem.Sum, Ranks: ranks}
+				gradSpec = prim.Spec{Kind: prim.ReduceScatter, Count: st.padded, Type: mem.Float64, Op: mem.Sum, Ranks: ranks, Algo: cfg.Algo}
 				if err := db.RegisterData(p, rank, collID(it, li, zeroSlotGrad), gradSpec, 0, st.gradFull, st.gradShard); err != nil {
 					return err
 				}
 			}
-			agSpec := prim.Spec{Kind: prim.AllGather, Count: st.shardLen, Type: mem.Float64, Ranks: ranks}
+			agSpec := prim.Spec{Kind: prim.AllGather, Count: st.shardLen, Type: mem.Float64, Ranks: ranks, Algo: cfg.Algo}
 			if err := db.RegisterData(p, rank, collID(it, li, zeroSlotGather), agSpec, 0, st.paramShard, st.params); err != nil {
 				return err
 			}
@@ -332,7 +339,7 @@ func runZeRORank(p *sim.Process, cluster *topo.Cluster, db orch.DataBackend, dyn
 	// Stage 3 leaves parameters sharded: gather once for verification.
 	if cfg.Stage == 3 {
 		for li, st := range layers {
-			agSpec := prim.Spec{Kind: prim.AllGather, Count: st.shardLen, Type: mem.Float64, Ranks: ranks}
+			agSpec := prim.Spec{Kind: prim.AllGather, Count: st.shardLen, Type: mem.Float64, Ranks: ranks, Algo: cfg.Algo}
 			id := zeroCollBase + 300_000 + li
 			if err := db.RegisterData(p, rank, id, agSpec, 0, st.paramShard, st.params); err != nil {
 				return err
