@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test test-race ci smoke doccheck bench tune chaos
+.PHONY: all fmt vet build test test-race ci smoke doccheck bench tune chaos trace
 
 all: ci
 
@@ -29,20 +29,22 @@ test-race:
 ci: fmt vet build test
 
 # doccheck fails if any exported identifier in the root package,
-# internal/prim, internal/orch, internal/fabric, or internal/tune lacks
-# a doc comment (go/ast-based, no external linters; see cmd/doccheck).
+# internal/prim, internal/orch, internal/fabric, internal/tune,
+# internal/trace, or internal/metrics lacks a doc comment (go/ast-based,
+# no external linters; see cmd/doccheck).
 doccheck:
 	$(GO) run ./cmd/doccheck
 
 # bench regenerates the machine-readable perf-trajectory snapshot
-# (BENCH_pr8.json): the all-to-all size × algorithm × shape × fabric
+# (BENCH_pr9.json): the all-to-all size × algorithm × shape × fabric
 # matrix, the fault-injection scenarios with their chaos-overhead
-# column, and the full-collective matrix (all-reduce / all-gather /
-# reduce-scatter × ring / hierarchical / auto). Deterministic —
-# regenerating on an unchanged tree is a no-op diff, so CI can assert
-# the committed snapshot is current.
+# column, the full-collective matrix (all-reduce / all-gather /
+# reduce-scatter × ring / hierarchical / auto), and the
+# tracing-overhead cells pinning the flight recorder's zero observer
+# effect. Deterministic — regenerating on an unchanged tree is a no-op
+# diff, so CI can assert the committed snapshot is current.
 bench:
-	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr8.json
+	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr9.json
 
 # tune regenerates the committed auto-tuning table
 # (internal/tune/default_table.json) from the crossover sweep; like
@@ -56,6 +58,15 @@ tune:
 # training bit-identical to the fault-free reference.
 chaos:
 	$(GO) run ./cmd/trainbench -fig chaos
+
+# trace runs the flight-recorder gate and writes trace.json (open in
+# chrome://tracing or https://ui.perfetto.dev) and metrics.json; exits
+# non-zero unless trace-derived byte totals reconcile exactly against
+# the executors' accounting, span counts match executed primitives, the
+# chaos kill left abort+reform marks, and regeneration is
+# byte-identical.
+trace:
+	$(GO) run ./cmd/trainbench -fig trace
 
 # smoke is the all-in-one gate: formatting, static checks (go vet), the
 # race-detector test pass, the godoc floor, and a minimal-iteration pass
@@ -74,7 +85,8 @@ smoke: fmt vet build test-race doccheck
 	$(GO) run ./cmd/trainbench -fig chaos > /dev/null
 	$(GO) run ./cmd/trainbench -fig ar > /dev/null
 	$(GO) run ./cmd/trainbench -fig tune
-	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr8.json
-	@git diff --exit-code -- internal/tune/default_table.json BENCH_pr8.json \
+	$(GO) run ./cmd/trainbench -fig trace > /dev/null
+	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr9.json
+	@git diff --exit-code -- internal/tune/default_table.json BENCH_pr9.json \
 		|| { echo "smoke: regenerated artifacts differ from the committed ones"; exit 1; }
 	@echo "smoke: all entry points OK"

@@ -19,6 +19,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 )
 
 // --- Table 1: deadlock ratios in simulation-based analysis ----------
@@ -274,6 +275,43 @@ func BenchmarkSec62_MemoryFootprint(b *testing.B) {
 	b.ReportMetric(float64(shared), "shared-B/block")
 	b.ReportMetric(float64(global), "global-B/block")
 	b.ReportMetric(float64(globalShared), "global-shared-B")
+}
+
+// --- Flight recorder: nil-recorder cost and observer effect ---------
+
+// BenchmarkTraceProbe_NilRecorder pins the recording-free launch path:
+// with Config.Recorder nil every executor pays one nil check per
+// primitive and nothing else, so this benchmark's allocs/op is the
+// pre-recorder baseline — any growth here means the nil path started
+// allocating.
+func BenchmarkTraceProbe_NilRecorder(b *testing.B) {
+	b.ReportAllocs()
+	var e2e sim.Duration
+	var err error
+	for i := 0; i < b.N; i++ {
+		e2e, err = bench.TraceProbe(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e2e)/1000, "e2e-us")
+}
+
+// BenchmarkTraceProbe_WithRecorder is the same run with the flight
+// recorder installed: allocs/op rises (span/send appends), but e2e-us
+// must match the nil-recorder run exactly — recording happens outside
+// virtual time.
+func BenchmarkTraceProbe_WithRecorder(b *testing.B) {
+	b.ReportAllocs()
+	var e2e sim.Duration
+	var err error
+	for i := 0; i < b.N; i++ {
+		e2e, err = bench.TraceProbe(&trace.Recorder{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(e2e)/1000, "e2e-us")
 }
 
 // --- Ablations of DESIGN.md's called-out design choices -------------

@@ -37,8 +37,20 @@
 //	-fig collbench
 //	          the full-collective benchmark matrix: the a2abench and
 //	          chaos cells plus allreduce/allgather/reducescatter ×
-//	          sizes × ring/hierarchical/auto × shapes × fabrics,
-//	          written as JSON to -out (`make bench` → BENCH_pr8.json)
+//	          sizes × ring/hierarchical/auto × shapes × fabrics and the
+//	          tracing-overhead cells, written as JSON to -out
+//	          (`make bench` → BENCH_pr9.json)
+//	-fig trace
+//	          flight-recorder gate: runs the DP + hierarchical-MoE +
+//	          chaos scenario with the full-depth recorder installed and
+//	          writes trace.json (Chrome/Perfetto; load via
+//	          chrome://tracing or https://ui.perfetto.dev) and
+//	          metrics.json (canonical registry dump) next to -out (or
+//	          the working directory); exits non-zero unless
+//	          trace-derived byte totals exactly match the executors'
+//	          per-transport accounting, span counts match the executed
+//	          primitives, the kill left abort+reform marks, and
+//	          regeneration is byte-identical
 //
 // Iteration counts default to paper-scale (200) for -fig 10/13; use
 // -iters to reduce for quick runs. -trials sets the disordered-
@@ -50,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dfccl/internal/bench"
 	"dfccl/internal/fabric"
@@ -57,10 +70,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, chaos, ar, tune, or collbench")
+	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, chaos, ar, tune, collbench, or trace")
 	iters := flag.Int("iters", 0, "training iterations (0 = figure default)")
 	trials := flag.Int("trials", 5, "disordered trials for the moe/zero deadlock tally")
-	out := flag.String("out", "", "output file for -fig a2abench/collbench (default stdout) and -fig tune (default internal/tune/default_table.json)")
+	out := flag.String("out", "", "output file for -fig a2abench/collbench (default stdout), -fig tune (default internal/tune/default_table.json), and the directory for -fig trace artifacts (default .)")
 	flag.Parse()
 
 	switch *fig {
@@ -229,6 +242,23 @@ func main() {
 			check(fmt.Errorf("auto pick missed the per-cell winner (or outputs diverged) in at least one cell"))
 		}
 		fmt.Println("auto gate passed: every auto pick matched the per-cell winner within tolerance, outputs bit-identical to the ring")
+	case "trace":
+		res, err := bench.TraceFig()
+		check(err)
+		dir := *out
+		if dir == "" {
+			dir = "."
+		}
+		tracePath := filepath.Join(dir, "trace.json")
+		metricsPath := filepath.Join(dir, "metrics.json")
+		check(os.WriteFile(tracePath, res.TraceJSON, 0o644))
+		check(os.WriteFile(metricsPath, res.MetricsJSON, 0o644))
+		fmt.Println("flight-recorder gate (DP all-reduce + hierarchical MoE all-to-all + kill/reform/revive, 2×4 GPUs, oversubscribed fabric)")
+		for _, s := range res.Summary {
+			fmt.Println("  " + s)
+		}
+		fmt.Printf("wrote %s (%d bytes) and %s (%d bytes); open trace.json in chrome://tracing or https://ui.perfetto.dev\n",
+			tracePath, len(res.TraceJSON), metricsPath, len(res.MetricsJSON))
 	case "chaos":
 		n := defaultIters(*iters, 6)
 		rows, err := bench.Chaos(n)

@@ -37,6 +37,7 @@ import (
 	"dfccl/internal/core"
 	"dfccl/internal/fabric"
 	"dfccl/internal/mem"
+	"dfccl/internal/metrics"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
@@ -119,6 +120,14 @@ type (
 	// TierUtil aggregates LinkStats per fabric tier; build it with
 	// FabricTierSummary.
 	TierUtil = fabric.TierUtil
+
+	// MetricsRegistry is the process-wide metrics registry
+	// (counters/gauges/histograms) returned by (*Library).Metrics;
+	// DumpCanonical serializes it as deterministic JSON.
+	MetricsRegistry = metrics.Registry
+	// MetricsSeries is an append-only sample series with nearest-rank
+	// percentiles, for workload-level latency recording.
+	MetricsSeries = metrics.Series
 )
 
 // ErrRankLost is the sentinel matched by errors.Is when a launch fails
@@ -322,6 +331,13 @@ func (l *Library) Now() Duration { return Duration(l.engine.Now()) }
 // System exposes the underlying deployment for benchmarks and tools
 // that need device handles or daemon statistics.
 func (l *Library) System() *core.System { return l.sys }
+
+// Metrics snapshots the deployment's process-wide metrics registry:
+// launch/completion and daemon lifecycle counters, elastic-membership
+// and tuning-pick counts, per-transport wire bytes, and per-tier
+// fabric utilization. Serialize it with DumpCanonical for a
+// deterministic artifact.
+func (l *Library) Metrics() *MetricsRegistry { return l.sys.Metrics() }
 
 // KillRank removes a rank mid-run: every group it participates in
 // aborts (in-flight launches resolve with a RankLostError on all

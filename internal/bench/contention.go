@@ -115,9 +115,10 @@ func contentionSweep(nodes, gpus int, oversubs []float64) ([]A2AContentionRow, e
 }
 
 // BenchCell is one row of the machine-readable benchmark matrix
-// (BENCH_pr8.json): a collective size × shape × algorithm × fabric
-// cell with its end-to-end latency and transport byte split, or a
-// fault-injection cell with its chaos-overhead column.
+// (BENCH_pr9.json): a collective size × shape × algorithm × fabric
+// cell with its end-to-end latency and transport byte split, a
+// fault-injection cell with its chaos-overhead column, or a
+// tracing-overhead cell pinning the flight recorder's observer effect.
 type BenchCell struct {
 	// Figure tags the sweep this cell belongs to.
 	Figure string `json:"figure"`
@@ -150,6 +151,12 @@ type BenchCell struct {
 	// runtime minus the fault-free runtime of the same training config
 	// (0 for a2abench cells).
 	ChaosOverheadNs int64 `json:"chaos_overhead_ns,omitempty"`
+	// TraceOverheadNs is the tracing-overhead column on traceoverhead
+	// cells: the virtual end-to-end latency with the flight recorder
+	// installed minus the same run without it. The recorder spends no
+	// virtual time, so the column is pinned at exactly 0 — any other
+	// value means recording perturbed the simulated timeline.
+	TraceOverheadNs int64 `json:"trace_overhead_ns"`
 }
 
 // A2ABenchMatrix generates the all-to-all half of the benchmark

@@ -9,6 +9,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 	"dfccl/internal/tune"
 )
 
@@ -42,8 +43,10 @@ func benchCollSpec(kind prim.Kind, count int, ranks []int, algo prim.Algorithm) 
 // runCollWith runs one real-data collective over the v2 handle API with
 // the given algorithm (ring, hierarchical, or auto) and fabric (nil =
 // unshared), returning the measured row plus every rank's recv bytes
-// for cross-algorithm comparison.
-func runCollWith(cluster *topo.Cluster, net *fabric.Network, kind prim.Kind, count int, algo prim.Algorithm, tbl *tune.Table) (CollRunRow, [][]byte, error) {
+// for cross-algorithm comparison. A non-nil rec is installed as the
+// run's flight recorder (the tracing-overhead cells pin that doing so
+// leaves the virtual timeline untouched).
+func runCollWith(cluster *topo.Cluster, net *fabric.Network, kind prim.Kind, count int, algo prim.Algorithm, tbl *tune.Table, rec *trace.Recorder) (CollRunRow, [][]byte, error) {
 	n := cluster.Size()
 	ranks := make([]int, n)
 	for i := range ranks {
@@ -54,6 +57,10 @@ func runCollWith(cluster *topo.Cluster, net *fabric.Network, kind prim.Kind, cou
 	cfg := core.DefaultConfig()
 	cfg.Network = net
 	cfg.Tuning = tbl
+	if rec != nil {
+		cfg.Recorder = rec
+		cfg.Tracer = rec
+	}
 	sys := core.NewSystem(e, cluster, cfg)
 	bar := NewBarrier(n)
 	row := CollRunRow{}
@@ -206,7 +213,7 @@ func probeCell(nodes, gpus int, kind prim.Kind, count int) (ringE2E, hierE2E sim
 	}
 	for _, algo := range []prim.Algorithm{prim.AlgoRing, prim.AlgoHierarchical} {
 		cluster := topo.NewCluster(nodes, gpus, topo.RTX3090, topo.DefaultLinks)
-		row, _, e := runCollWith(cluster, nil, kind, count, algo, nil)
+		row, _, e := runCollWith(cluster, nil, kind, count, algo, nil, nil)
 		if e != nil {
 			return 0, 0, e
 		}
@@ -283,15 +290,15 @@ func AutoAlgoGate() ([]AutoGateRow, bool, error) {
 				newCluster := func() *topo.Cluster {
 					return topo.NewCluster(shape.nodes, shape.gpus, topo.RTX3090, topo.DefaultLinks)
 				}
-				ringRow, ringOuts, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoRing, nil)
+				ringRow, ringOuts, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoRing, nil, nil)
 				if err != nil {
 					return nil, false, err
 				}
-				hierRow, _, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoHierarchical, nil)
+				hierRow, _, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoHierarchical, nil, nil)
 				if err != nil {
 					return nil, false, err
 				}
-				autoRow, autoOuts, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoAuto, nil)
+				autoRow, autoOuts, err := runCollWith(newCluster(), nil, kind, count, prim.AlgoAuto, nil, nil)
 				if err != nil {
 					return nil, false, err
 				}
@@ -340,7 +347,7 @@ func CollBenchCells() ([]BenchCell, error) {
 							cell.Fabric = fmt.Sprintf("oversub%g", benchOversub)
 							cell.Oversub = benchOversub
 						}
-						row, _, err := runCollWith(cluster, net, kind, count, algo, nil)
+						row, _, err := runCollWith(cluster, net, kind, count, algo, nil, nil)
 						if err != nil {
 							return nil, err
 						}
@@ -355,8 +362,10 @@ func CollBenchCells() ([]BenchCell, error) {
 	return cells, nil
 }
 
-// FullBenchMatrix is the BENCH_pr8.json matrix: the all-to-all and
-// chaos cells of A2ABenchMatrix followed by the full-collective cells.
+// FullBenchMatrix is the BENCH_pr9.json matrix: the all-to-all and
+// chaos cells of A2ABenchMatrix, the full-collective cells, and the
+// tracing-overhead cells pinning the flight recorder's zero observer
+// effect.
 func FullBenchMatrix() ([]BenchCell, error) {
 	cells, err := A2ABenchMatrix()
 	if err != nil {
@@ -366,5 +375,10 @@ func FullBenchMatrix() ([]BenchCell, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(cells, collCells...), nil
+	traceCells, err := TraceOverheadCells()
+	if err != nil {
+		return nil, err
+	}
+	cells = append(cells, collCells...)
+	return append(cells, traceCells...), nil
 }

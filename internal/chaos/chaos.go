@@ -35,6 +35,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 )
 
 // EventKind distinguishes schedule events.
@@ -93,6 +94,11 @@ type Config struct {
 	// MaxVirtual bounds the run's virtual time so any hang becomes a
 	// reported failure (default 600 virtual seconds).
 	MaxVirtual sim.Duration
+	// Recorder, when non-nil, is installed as the run's flight recorder
+	// (core.Config.Recorder and Tracer): executor spans, byte records,
+	// and kill/abort/reform/revive marks from the fault script all land
+	// on one timeline.
+	Recorder *trace.Recorder
 }
 
 // Report is a chaos run's outcome.
@@ -250,7 +256,12 @@ func Run(cfg Config) (*Report, error) {
 
 	e := sim.NewEngine()
 	e.MaxTime = sim.Time(cfg.MaxVirtual)
-	sys := core.NewSystem(e, cfg.Cluster, core.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	if cfg.Recorder != nil {
+		ccfg.Recorder = cfg.Recorder
+		ccfg.Tracer = cfg.Recorder
+	}
+	sys := core.NewSystem(e, cfg.Cluster, ccfg)
 	st := &runState{join: sim.NewCond("chaos.join")}
 
 	initial := append([]int(nil), cfg.Ranks...)

@@ -7,6 +7,7 @@ import (
 	"dfccl/internal/mem"
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
+	"dfccl/internal/trace"
 )
 
 // OpenOption configures Open. Options compose left to right.
@@ -116,7 +117,15 @@ func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, err
 	// (same table, same spec, same cluster), so all ranks converge on
 	// the same concrete algorithm without coordination.
 	if spec.Algo == prim.AlgoAuto {
-		spec.Algo = r.sys.resolveAlgo(spec)
+		var note string
+		spec.Algo, note = r.sys.resolveAlgo(spec)
+		r.sys.tunePicks++
+		if rec := r.sys.Config.Recorder; rec != nil {
+			rec.RecordMark(trace.Mark{
+				At: r.sys.Engine.Now(), Kind: trace.MarkTunePick,
+				GPU: r.Rank, Coll: -1, Note: note,
+			})
+		}
 	}
 	id := o.collID
 	if !o.hasID {
@@ -208,6 +217,16 @@ type CollectiveStats struct {
 	// BytesSentBy splits BytesSent by transport (SHM vs RDMA vs
 	// device-local) — what the hierarchical-vs-ring comparisons pin.
 	BytesSentBy prim.TransportBytes
+	// NumPrimitives is the per-run primitive count of this rank's
+	// schedule (actions × rounds, summed over stages): the flight
+	// recorder's span-count gate expects Completions × NumPrimitives
+	// action spans from a cleanly completed collective.
+	NumPrimitives int
+	// PrimsExecuted is the cumulative count of primitives this rank's
+	// executor actually completed across all runs — equals
+	// Completions × NumPrimitives absent aborts, less on a collective
+	// killed mid-run.
+	PrimsExecuted int
 	// Fabric is a snapshot of the shared network's per-link counters
 	// (bytes carried, busy/saturated time) at Stats time. The fabric is
 	// system-wide, so the snapshot reflects all traffic, not just this
@@ -234,6 +253,8 @@ func (c *Collective) Stats() CollectiveStats {
 		LastCoreExec:   c.r.CoreExecTime(c.id),
 		BytesSent:      t.exec.BytesSent,
 		BytesSentBy:    t.exec.BytesSentBy,
+		NumPrimitives:  t.exec.Seq.NumPrimitives(),
+		PrimsExecuted:  t.exec.PrimsExecuted,
 		Fabric:         c.r.sys.Network().Snapshot(),
 	}
 }
@@ -300,10 +321,23 @@ func (c *Collective) Reform(p *sim.Process) (*Collective, error) {
 		return nil, err
 	}
 	priority, grid := g.Priority, g.Grid
+	oldID := c.id
 	if err := c.Close(p); err != nil {
 		return nil, err
 	}
-	return c.r.Open(spec, WithPriority(priority), WithGrid(grid))
+	nc, err := c.r.Open(spec, WithPriority(priority), WithGrid(grid))
+	if err != nil {
+		return nil, err
+	}
+	c.r.sys.reforms++
+	if rec := c.r.sys.Config.Recorder; rec != nil {
+		rec.RecordMark(trace.Mark{
+			At: c.r.sys.Engine.Now(), Kind: trace.MarkReform,
+			GPU: c.r.Rank, Coll: nc.id,
+			Note: fmt.Sprintf("from coll %d", oldID),
+		})
+	}
+	return nc, nil
 }
 
 // survivorSpec derives the re-formation spec: the original with the

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"dfccl/internal/metrics"
+	"dfccl/internal/prim"
+)
+
+// retiredStats accumulates the counters of executors and rank contexts
+// that have been dropped — Unregister/Close, a killed rank's
+// releaseAll, ReviveRank — so system-wide totals stay exact across
+// open/close churn and elastic membership instead of vanishing with
+// the objects that carried them.
+type retiredStats struct {
+	prims      int
+	spinAborts int
+	bytes      prim.TransportBytes
+	submitted  int
+	completed  int
+	rank       RankStats
+}
+
+// retireExec folds a dropped executor's counters into the system
+// aggregates. Every path that deletes a collTask must call it.
+func (s *System) retireExec(x *prim.Executor) {
+	s.retired.prims += x.PrimsExecuted
+	s.retired.spinAborts += x.SpinAborts
+	s.retired.bytes.Add(x.BytesSentBy)
+}
+
+// retireRank folds a revived rank context's counters into the system
+// aggregates (its executors were already retired by releaseAll).
+func (s *System) retireRank(r *RankContext) {
+	s.retired.submitted += r.submitted
+	s.retired.completed += r.completed
+	s.retired.rank.add(r.Stats)
+}
+
+// add accumulates another rank's daemon statistics.
+func (st *RankStats) add(o RankStats) {
+	st.DaemonStarts += o.DaemonStarts
+	st.VoluntaryQuits += o.VoluntaryQuits
+	st.SQEsRead += o.SQEsRead
+	st.CQEsWritten += o.CQEsWritten
+	st.Preemptions += o.Preemptions
+	st.ContextLoads += o.ContextLoads
+	st.ContextSaves += o.ContextSaves
+	st.SchedulerPass += o.SchedulerPass
+}
+
+// BytesSentTotals returns the system-wide wire-byte split by
+// transport: every live executor's BytesSentBy plus the retired
+// aggregates. This is the accounting side of the byte-reconciliation
+// gate — the flight recorder's summed Sends must equal it exactly.
+func (s *System) BytesSentTotals() prim.TransportBytes {
+	total := s.retired.bytes
+	for _, rc := range s.ranks {
+		if rc == nil {
+			continue
+		}
+		for _, t := range rc.tasks {
+			total.Add(t.exec.BytesSentBy)
+		}
+	}
+	return total
+}
+
+// PrimsExecutedTotal returns the system-wide count of executed
+// primitives (live plus retired executors) — the span-count side of
+// the reconciliation gate: the recorder must hold exactly this many
+// action spans.
+func (s *System) PrimsExecutedTotal() int {
+	n := s.retired.prims
+	for _, rc := range s.ranks {
+		if rc == nil {
+			continue
+		}
+		for _, t := range rc.tasks {
+			n += t.exec.PrimsExecuted
+		}
+	}
+	return n
+}
+
+// Metrics assembles the process-wide metrics registry from the
+// counters core, prim, and fabric already keep: launch/completion and
+// daemon lifecycle totals, elastic-membership and tuning counts,
+// communicator-pool behavior, per-transport wire bytes, and per-tier
+// fabric utilization. It is a snapshot — call it again for fresh
+// numbers. The registry dumps as deterministic canonical JSON
+// (metrics.Registry.DumpCanonical).
+func (s *System) Metrics() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	submitted, completed := s.retired.submitted, s.retired.completed
+	rs := s.retired.rank
+	prims, spin := s.retired.prims, s.retired.spinAborts
+	bytes := s.retired.bytes
+	for _, rc := range s.ranks {
+		if rc == nil {
+			continue
+		}
+		submitted += rc.submitted
+		completed += rc.completed
+		rs.add(rc.Stats)
+		for _, t := range rc.tasks {
+			prims += t.exec.PrimsExecuted
+			spin += t.exec.SpinAborts
+			bytes.Add(t.exec.BytesSentBy)
+		}
+	}
+	reg.SetCounter("core.launches", int64(submitted))
+	reg.SetCounter("core.completions", int64(completed))
+	reg.SetCounter("core.daemon_starts", int64(rs.DaemonStarts))
+	reg.SetCounter("core.voluntary_quits", int64(rs.VoluntaryQuits))
+	reg.SetCounter("core.sqes_read", int64(rs.SQEsRead))
+	reg.SetCounter("core.cqes_written", int64(rs.CQEsWritten))
+	reg.SetCounter("core.preemptions", int64(rs.Preemptions))
+	reg.SetCounter("core.context_loads", int64(rs.ContextLoads))
+	reg.SetCounter("core.context_saves", int64(rs.ContextSaves))
+	reg.SetCounter("core.kills", int64(s.kills))
+	reg.SetCounter("core.revives", int64(s.revives))
+	reg.SetCounter("core.aborts", int64(s.aborts))
+	reg.SetCounter("core.reforms", int64(s.reforms))
+	reg.SetCounter("core.tune_picks", int64(s.tunePicks))
+	reg.SetCounter("core.comms_created", int64(s.pool.Created()))
+	reg.SetCounter("core.comms_reused", int64(s.pool.Reused()))
+	reg.SetCounter("prim.prims_executed", int64(prims))
+	reg.SetCounter("prim.spin_aborts", int64(spin))
+	reg.SetCounter("prim.bytes_local", int64(bytes.Local))
+	reg.SetCounter("prim.bytes_shm", int64(bytes.SHM))
+	reg.SetCounter("prim.bytes_rdma", int64(bytes.RDMA))
+	for _, l := range s.net.Snapshot() {
+		prefix := "fabric." + l.Tier.String() + "."
+		reg.AddCounter(prefix+"links", 1)
+		reg.AddCounter(prefix+"bytes", int64(l.Bytes))
+		reg.AddCounter(prefix+"busy_ns", int64(l.Busy))
+		reg.AddCounter(prefix+"saturated_ns", int64(l.Saturated))
+	}
+	return reg
+}

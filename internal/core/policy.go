@@ -3,6 +3,7 @@ package core
 import (
 	"dfccl/internal/fabric"
 	"dfccl/internal/sim"
+	"dfccl/internal/trace"
 	"dfccl/internal/tune"
 )
 
@@ -151,6 +152,16 @@ type Config struct {
 	// Tracer, when non-nil, receives daemon scheduling events (see
 	// internal/trace for a recorder and Chrome-trace exporter).
 	Tracer Tracer
+	// Recorder, when non-nil, is the full-depth flight recorder: it is
+	// threaded into every executor (per-action spans, per-send byte
+	// records), the fabric (flow and saturation events), and the
+	// membership/tuning paths (kill/abort/reform/revive/tune-pick
+	// marks). nil — the default — keeps all those paths recording-free:
+	// one nil check per primitive, zero allocations (benchmark-pinned in
+	// the root package). Typically the same *trace.Recorder is also
+	// installed as Tracer so the coarse daemon events share the
+	// timeline.
+	Recorder *trace.Recorder
 	// BatchedSQERead enables the I/O optimization the paper leaves as
 	// future work ("we will prioritize optimizing DFCCL's I/O handling
 	// scheme"): the daemon reads all available SQEs in one host-memory

@@ -171,6 +171,9 @@ func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error
 	// The abort hook is how a rank loss reaches the daemon: the
 	// executor polls it at every step entry and connector-wait wakeup.
 	t.exec.AbortCheck = g.aborted
+	if rec := r.sys.Config.Recorder; rec != nil {
+		t.exec.Rec, t.exec.RecColl = rec, collID
+	}
 	r.tasks[collID] = t
 	g.refs++
 	return nil
@@ -200,6 +203,7 @@ func (r *RankContext) Unregister(collID int) error {
 		return fmt.Errorf("core: collective %d has %d outstanding run(s) on rank %d; wait for completion before Close/Unregister",
 			collID, len(r.callbacks[collID]), r.Rank)
 	}
+	r.sys.retireExec(t.exec)
 	delete(r.tasks, collID)
 	delete(r.callbacks, collID)
 	r.sys.unregister(t.group)
@@ -423,6 +427,7 @@ func (r *RankContext) completionErr(id int) error {
 // by ReviveRank (whichever comes first).
 func (r *RankContext) releaseAll() {
 	for id, t := range r.tasks {
+		r.sys.retireExec(t.exec)
 		delete(r.tasks, id)
 		delete(r.callbacks, id)
 		r.sys.unregister(t.group)

@@ -10,6 +10,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 	"dfccl/internal/tune"
 )
 
@@ -35,6 +36,13 @@ type System struct {
 	// system-assigned ID.
 	autoIDs    map[string][]int
 	nextAutoID int
+
+	// Always-on lifecycle counters (plain increments on cold paths, in
+	// the SYSFLOW spirit of cheap always-on accounting) and the retired
+	// stats of dropped executors/rank contexts; both feed Metrics() and
+	// the trace-reconciliation totals. See metrics.go.
+	kills, revives, aborts, reforms, tunePicks int
+	retired                                    retiredStats
 }
 
 // AutoCollIDBase is the first system-assigned collective ID; explicit
@@ -49,6 +57,9 @@ func NewSystem(e *sim.Engine, c *topo.Cluster, cfg Config) *System {
 	net := cfg.Network
 	if net == nil {
 		net = fabric.Unshared(c)
+	}
+	if cfg.Recorder != nil {
+		net.SetRecorder(cfg.Recorder)
 	}
 	s := &System{
 		Engine:     e,
@@ -190,13 +201,14 @@ func (s *System) autoCollID(r *RankContext, spec prim.Spec) int {
 // resolveAlgo picks the concrete algorithm for a spec opened with
 // prim.AlgoAuto, consulting the deployment's tuning table (or the
 // committed default) with the node shape the spec's rank set spans.
-func (s *System) resolveAlgo(spec prim.Spec) prim.Algorithm {
+// The returned note describes the pick for the flight recorder.
+func (s *System) resolveAlgo(spec prim.Spec) (prim.Algorithm, string) {
 	if s.tuning == nil {
 		if s.tuning = s.Config.Tuning; s.tuning == nil {
 			s.tuning = tune.Default()
 		}
 	}
-	return s.tuning.PickFor(s.Cluster, spec)
+	return s.tuning.PickForExplained(s.Cluster, spec)
 }
 
 // sameSpec reports whether two specs are interchangeable for
@@ -269,6 +281,11 @@ func (s *System) KillRank(rank int) {
 	}
 	rc.lost = true
 	rc.destroyed = true
+	s.kills++
+	rec := s.Config.Recorder
+	if rec != nil {
+		rec.RecordMark(trace.Mark{At: s.Engine.Now(), Kind: trace.MarkKill, GPU: rank, Coll: -1})
+	}
 	e := s.Engine
 	for _, g := range s.groups {
 		if _, in := g.posOf[rank]; !in {
@@ -276,6 +293,14 @@ func (s *System) KillRank(rank int) {
 		}
 		if g.abortErr == nil {
 			g.abortErr = &RankLostError{CollID: g.ID, Lost: []int{rank}}
+			s.aborts++
+			if rec != nil {
+				// Map iteration makes same-instant abort marks arrive in
+				// nondeterministic order; the recorder's documented stable
+				// sort (time, kind, gpu, coll) restores determinism at
+				// export.
+				rec.RecordMark(trace.Mark{At: s.Engine.Now(), Kind: trace.MarkAbort, GPU: rank, Coll: g.ID, Note: "rank lost"})
+			}
 		} else {
 			g.abortErr.Lost = insertSorted(g.abortErr.Lost, rank)
 		}
@@ -309,7 +334,12 @@ func (s *System) ReviveRank(rank int) error {
 		return fmt.Errorf("core: rank %d still draining %d aborted run(s)", rank, rc.Outstanding())
 	}
 	rc.releaseAll()
+	s.retireRank(rc)
 	s.ranks[rank] = nil
+	s.revives++
+	if rec := s.Config.Recorder; rec != nil {
+		rec.RecordMark(trace.Mark{At: s.Engine.Now(), Kind: trace.MarkRevive, GPU: rank, Coll: -1})
+	}
 	return nil
 }
 
@@ -332,6 +362,10 @@ func (s *System) NumRegistered() int { return len(s.groups) }
 // CommsCreated reports how many communicators were ever constructed —
 // flat under open/close churn when the pool recycles them.
 func (s *System) CommsCreated() int { return s.pool.Created() }
+
+// CommsReused reports how many times a registration was served by a
+// recycled communicator instead of constructing one.
+func (s *System) CommsReused() int { return s.pool.Reused() }
 
 // CommsPooled reports how many released communicators are currently
 // available for reuse.
@@ -424,6 +458,7 @@ type commPool struct {
 	net     *fabric.Network
 	free    map[string][]*communicator
 	created int
+	reused  int
 }
 
 func newCommPool(c *topo.Cluster, net *fabric.Network) *commPool {
@@ -444,6 +479,7 @@ func (cp *commPool) acquire(ranks []int, tag string) *communicator {
 		c := frees[len(frees)-1]
 		cp.free[key] = frees[:len(frees)-1]
 		c.inUse = true
+		cp.reused++
 		return c
 	}
 	cp.created++
@@ -466,3 +502,6 @@ func (cp *commPool) release(c *communicator) {
 // Created reports how many communicators were ever constructed, for
 // pool-reuse tests.
 func (cp *commPool) Created() int { return cp.created }
+
+// Reused reports how many acquires were served from the free list.
+func (cp *commPool) Reused() int { return cp.reused }

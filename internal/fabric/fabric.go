@@ -29,6 +29,7 @@ import (
 
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 )
 
 // Tier names the level of the physical hierarchy a link belongs to.
@@ -251,7 +252,17 @@ type Network struct {
 	flows  []*flow
 	change *sim.Cond // broadcast on every flow join/leave
 	lastAt sim.Time  // last time flow progress was accrued
+
+	rec     *trace.Recorder // nil = no flow/saturation recording
+	flowSeq int             // last assigned flow ID
 }
+
+// SetRecorder attaches a flight recorder: flow lifecycle events
+// (start, rate changes from the max-min solve, finish) and per-link
+// saturation intervals are recorded when rec is non-nil. core wires
+// this from Config.Recorder at system construction; nil (the default)
+// keeps transfers recording-free.
+func (n *Network) SetRecorder(rec *trace.Recorder) { n.rec = rec }
 
 // Unshared returns a network with no shared links: Transfer sleeps
 // exactly Path.TransferTime(bytes), reproducing the legacy independent

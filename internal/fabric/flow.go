@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"dfccl/internal/sim"
+	"dfccl/internal/trace"
 )
 
 // flow is one in-flight transfer holding capacity on its route's links.
@@ -13,6 +14,8 @@ type flow struct {
 	cap       float64 // per-flow rate ceiling (the route's Path.Bandwidth)
 	rate      float64 // current max-min fair rate, set by recompute
 	frozen    bool    // scratch for one water-filling solve
+	id        int     // recorder flow ID (0 when recording is off)
+	prevRate  float64 // rate before the last solve (rate-change detection)
 }
 
 // Transfer moves bytes over route r, blocking the calling process for
@@ -33,6 +36,11 @@ func (n *Network) Transfer(p *sim.Process, r Route, bytes int) {
 	p.Sleep(sim.Duration(r.Path.Latency))
 	e := p.Engine()
 	f := &flow{route: r, remaining: float64(bytes), cap: r.Path.Bandwidth}
+	if n.rec != nil {
+		n.flowSeq++
+		f.id = n.flowSeq
+		n.rec.RecordFlow(trace.FlowEvent{At: e.Now(), ID: f.id, Kind: trace.FlowStart, Bytes: bytes})
+	}
 	n.advance(e.Now())
 	n.flows = append(n.flows, f)
 	n.recompute()
@@ -50,6 +58,9 @@ func (n *Network) Transfer(p *sim.Process, r Route, bytes int) {
 	n.remove(f)
 	n.recompute()
 	n.change.Broadcast(e)
+	if n.rec != nil {
+		n.rec.RecordFlow(trace.FlowEvent{At: e.Now(), ID: f.id, Kind: trace.FlowEnd})
+	}
 }
 
 // remove drops a finished flow from the active set.
@@ -67,6 +78,7 @@ func (n *Network) remove(f *flow) {
 // per-link byte/busy/saturated counters. It must run before any change
 // to the flow set (and after every wakeup, before remaining is read).
 func (n *Network) advance(now sim.Time) {
+	prev := n.lastAt
 	dt := now.Sub(n.lastAt)
 	n.lastAt = now
 	if dt <= 0 {
@@ -88,6 +100,12 @@ func (n *Network) advance(now sim.Time) {
 			l.busy += dt
 			if l.saturatedNow {
 				l.saturated += dt
+				if n.rec != nil {
+					// One interval per accounting window; adjacent
+					// windows of a continuously saturated link appear as
+					// abutting spans on the link's trace track.
+					n.rec.RecordSat(trace.SatSpan{Start: prev, End: now, Link: l.Name, Tier: l.Tier.String()})
+				}
 			}
 		}
 	}
@@ -106,6 +124,7 @@ func (n *Network) recompute() {
 		l.saturatedNow = false
 	}
 	for _, f := range n.flows {
+		f.prevRate = f.rate
 		f.rate, f.frozen = 0, false
 		for _, l := range f.route.Links {
 			l.nflows++
@@ -149,6 +168,16 @@ func (n *Network) recompute() {
 	}
 	for _, l := range n.links {
 		l.saturatedNow = l.nflows > 0 && l.alloc >= l.Capacity*(1-1e-9)
+	}
+	if n.rec != nil {
+		// recompute always runs right after advance(now), so n.lastAt is
+		// the solve instant. A flow's first solve (prevRate 0) records
+		// its initial allocation.
+		for _, f := range n.flows {
+			if f.rate != f.prevRate {
+				n.rec.RecordFlow(trace.FlowEvent{At: n.lastAt, ID: f.id, Kind: trace.FlowRate, Rate: f.rate})
+			}
+		}
 	}
 }
 

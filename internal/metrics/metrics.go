@@ -61,8 +61,11 @@ func (s *Series) CoV() float64 {
 	return s.Std() / m
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
-// interpolation on the sorted samples.
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by the
+// nearest-rank method: the smallest sample such that at least p% of
+// the samples are ≤ it (sorted[⌈p/100·n⌉−1]). Unlike interpolation it
+// always returns an observed sample, so percentile reports stay exact
+// under the repository's bit-exactness discipline.
 func (s *Series) Percentile(p float64) float64 {
 	n := len(s.Samples)
 	if n == 0 {
@@ -76,13 +79,11 @@ func (s *Series) Percentile(p float64) float64 {
 	if p >= 100 {
 		return sorted[n-1]
 	}
-	idx := p / 100 * float64(n-1)
-	lo := int(idx)
-	frac := idx - float64(lo)
-	if lo+1 >= n {
-		return sorted[n-1]
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	return sorted[rank-1]
 }
 
 // RunningMeans returns the paper's Fig. 12 metric: element i is the
@@ -97,6 +98,7 @@ func (s *Series) RunningMeans() []float64 {
 	return out
 }
 
+// String is a one-line summary: sample count, mean, std, CoV.
 func (s *Series) String() string {
 	return fmt.Sprintf("%s: n=%d mean=%.3f std=%.3f cov=%.2f%%", s.Name, s.Len(), s.Mean(), s.Std(), 100*s.CoV())
 }

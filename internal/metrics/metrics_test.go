@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -34,6 +36,8 @@ func TestPercentile(t *testing.T) {
 	s := &Series{Samples: []float64{10, 20, 30, 40, 50}}
 	cases := []struct{ p, want float64 }{
 		{0, 10}, {50, 30}, {100, 50}, {25, 20},
+		// Nearest-rank-specific: interpolation would give 14 and 46.
+		{10, 10}, {90, 50},
 	}
 	for _, c := range cases {
 		if got := s.Percentile(c.p); got != c.want {
@@ -43,6 +47,83 @@ func TestPercentile(t *testing.T) {
 	empty := &Series{}
 	if empty.Percentile(50) != 0 {
 		t.Fatal("empty percentile should be 0")
+	}
+}
+
+// Nearest-rank percentiles always return an observed sample.
+func TestPercentileReturnsObservedSample(t *testing.T) {
+	f := func(xs []float64, pRaw uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		s := &Series{Samples: xs}
+		got := s.Percentile(float64(pRaw) / 2.55)
+		for _, x := range xs {
+			if x == got {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCanonicalDump(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry()
+		r.AddCounter("core.launches", 3)
+		r.AddCounter("core.launches", 2)
+		r.SetCounter("prim.bytes_shm", 4096)
+		r.SetGauge("fabric.leaf.saturated_ns", 123)
+		h := r.Histogram("iter_ns")
+		for _, v := range []float64{50, 10, 30, 20, 40} {
+			h.Add(v)
+		}
+		return r
+	}
+	r := mk()
+	if r.Counter("core.launches") != 5 {
+		t.Fatalf("counter = %d, want 5", r.Counter("core.launches"))
+	}
+	if got := r.CounterNames(); len(got) != 2 || got[0] != "core.launches" || got[1] != "prim.bytes_shm" {
+		t.Fatalf("counter names = %v", got)
+	}
+	a, err := r.DumpCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			N   int     `json:"n"`
+			P50 float64 `json:"p50"`
+			Max float64 `json:"max"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(a, &parsed); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if parsed.Counters["prim.bytes_shm"] != 4096 {
+		t.Fatalf("counters = %v", parsed.Counters)
+	}
+	if h := parsed.Histograms["iter_ns"]; h.N != 5 || h.P50 != 30 || h.Max != 50 {
+		t.Fatalf("histogram summary = %+v", h)
+	}
+	// Determinism: an independently built identical registry dumps the
+	// same bytes.
+	b, err := mk().DumpCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical dumps differ:\n%s\n%s", a, b)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"dfccl/internal/prim"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 	"dfccl/internal/tune"
 )
 
@@ -48,6 +49,10 @@ type Lib struct {
 	// Tuning is the table prim.AlgoAuto launches resolve against; nil
 	// selects tune.Default(), the committed artifact.
 	Tuning *tune.Table
+	// rec, when set via SetRecorder, is threaded into every launched
+	// executor so the baseline's primitives land on the same flight
+	// recorder as DFCCL's for side-by-side timelines.
+	rec    *trace.Recorder
 	engine *sim.Engine
 	comms  int
 }
@@ -70,6 +75,12 @@ func NewOnFabric(e *sim.Engine, net *fabric.Network) *Lib {
 
 // Engine returns the simulation engine.
 func (l *Lib) Engine() *sim.Engine { return l.engine }
+
+// SetRecorder installs a flight recorder: every subsequently launched
+// collective's executor records per-action spans and per-send byte
+// records into it (collective ID = the communicator's ID). nil
+// disables recording.
+func (l *Lib) SetRecorder(rec *trace.Recorder) { l.rec = rec }
 
 // CommsCreated reports how many communicators were ever constructed.
 // NCCL has no communicator pool, so under dynamic-group churn this
@@ -151,6 +162,9 @@ func (c *Comm) Launch(p *sim.Process, stream *cudasim.Stream, rank int, spec pri
 		x = c.hier.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
 	} else {
 		x = c.ring.ExecutorFor(c.lib.Cluster, spec, pos, sendBuf, recvBuf)
+	}
+	if c.lib.rec != nil {
+		x.Rec, x.RecColl = c.lib.rec, c.id
 	}
 	c.calls++
 	dev := c.lib.Devs[rank]

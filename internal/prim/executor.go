@@ -7,6 +7,7 @@ import (
 	"dfccl/internal/mem"
 	"dfccl/internal/sim"
 	"dfccl/internal/topo"
+	"dfccl/internal/trace"
 )
 
 // ConnectorSlots is the ring-buffer depth of inter-GPU connectors,
@@ -78,6 +79,19 @@ func (t *TransportBytes) add(tr topo.Transport, n int) {
 	}
 }
 
+// TraceTransport maps a topo transport onto the flight recorder's
+// transport enum (trace sits below topo and cannot import it).
+func TraceTransport(tr topo.Transport) trace.Transport {
+	switch tr {
+	case topo.TransportSHM:
+		return trace.TransportSHM
+	case topo.TransportRDMA:
+		return trace.TransportRDMA
+	default:
+		return trace.TransportLocal
+	}
+}
+
 // Executor runs one rank's primitive sequence for one collective. Its
 // exported position fields (Stage, Round, Step, Phase) are the dynamic
 // context of Sec. 4.2: saving and restoring them across preemptions
@@ -124,6 +138,15 @@ type Executor struct {
 	// what makes rank loss observable at well-defined points instead of
 	// mid-primitive.
 	AbortCheck func() bool
+
+	// Rec, when non-nil, receives one trace.ActionSpan per completed
+	// primitive action and one trace.Send per executed send half, under
+	// collective ID RecColl. The owning runtime assigns both after
+	// construction; nil (the default) keeps the launch path free of
+	// recording branches' costs — no allocations, one predictable
+	// branch per primitive.
+	Rec     *trace.Recorder
+	RecColl int
 
 	scratch *mem.Buffer
 
@@ -350,6 +373,7 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 	}
 	stage := x.Seq.stageAt(x.Stage)
 	a := stage.Actions[x.Step]
+	attemptStart := p.Now()
 	pipelined := !a.LocalCopy && a.HasSend() && a.HasRecv() && a.SendSeg == a.RecvSeg
 
 	switch {
@@ -405,6 +429,20 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 	}
 
 	x.PrimsExecuted++
+	if x.Rec != nil {
+		// The span is the completing attempt's contiguous interval: a
+		// resumed action (Phase saved at 1 across a preemption) spans
+		// only its remainder, matching what actually ran now. The cursor
+		// still holds the completed action's position — the same
+		// checkpoint the preempt/abort machinery freezes at.
+		x.Rec.RecordAction(trace.ActionSpan{
+			Start: attemptStart, End: p.Now(),
+			GPU: x.Spec.Ranks[x.Pos], Coll: x.RecColl,
+			Stage: x.Stage, Label: stage.Label,
+			Round: x.Round, Step: x.Step, Phase: x.Phase,
+			Transport: x.actionTransport(a),
+		})
+	}
 	x.Phase = 0
 	x.Step++
 	if x.Step >= len(stage.Actions) {
@@ -420,6 +458,15 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 		}
 	}
 	return Progressed
+}
+
+// actionTransport is the wire class of the action's send half
+// (device-local for recv-only and copy actions).
+func (x *Executor) actionTransport(a Action) trace.Transport {
+	if a.LocalCopy || !a.HasSend() {
+		return trace.TransportLocal
+	}
+	return TraceTransport(x.OutRoutes[a.SendConn].Path.Transport)
 }
 
 // localCopy moves an action's block between working-buffer segments
@@ -447,6 +494,16 @@ func (x *Executor) sendHalf(p *sim.Process, a Action) {
 	out := x.Outs[a.SendConn]
 	x.BytesSent += bytes
 	x.BytesSentBy.add(route.Path.Transport, bytes)
+	if x.Rec != nil {
+		// Recorded at the same point BytesSentBy accrues, so summing
+		// recorded Sends by transport reconciles exactly — even for
+		// sends whose enclosing action is later aborted mid-primitive.
+		x.Rec.RecordSend(trace.Send{
+			At: p.Now(), GPU: x.Spec.Ranks[x.Pos], Coll: x.RecColl,
+			Stage: x.Stage, Round: x.Round, Step: x.Step,
+			Transport: TraceTransport(route.Path.Transport), Bytes: bytes,
+		})
+	}
 	if x.Net != nil {
 		x.Net.Transfer(p, route, bytes)
 	} else {
