@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test test-race ci smoke doccheck bench tune chaos trace
+.PHONY: all fmt vet build test test-race ci smoke doccheck bench tune chaos trace cluster
 
 all: ci
 
@@ -36,15 +36,18 @@ doccheck:
 	$(GO) run ./cmd/doccheck
 
 # bench regenerates the machine-readable perf-trajectory snapshot
-# (BENCH_pr9.json): the all-to-all size × algorithm × shape × fabric
+# (BENCH_pr10.json): the all-to-all size × algorithm × shape × fabric
 # matrix, the fault-injection scenarios with their chaos-overhead
 # column, the full-collective matrix (all-reduce / all-gather /
-# reduce-scatter × ring / hierarchical / auto), and the
-# tracing-overhead cells pinning the flight recorder's zero observer
-# effect. Deterministic — regenerating on an unchanged tree is a no-op
-# diff, so CI can assert the committed snapshot is current.
+# reduce-scatter × ring / hierarchical / auto), the tracing-overhead
+# cells pinning the flight recorder's zero observer effect, and the
+# multi-job contention column (per-policy cluster cells plus the
+# launch-path allocs/op cell). Deterministic — regenerating on an
+# unchanged tree is a no-op diff, so CI can assert the committed
+# snapshot is current. (BENCH_pr9.json is the previous PR's snapshot,
+# kept as history.)
 bench:
-	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr9.json
+	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr10.json
 
 # tune regenerates the committed auto-tuning table
 # (internal/tune/default_table.json) from the crossover sweep; like
@@ -68,6 +71,15 @@ chaos:
 trace:
 	$(GO) run ./cmd/trainbench -fig trace
 
+# cluster runs the multi-tenant cluster gate: a bursty trace of
+# heterogeneous jobs contending for one fabric under FIFO / priority /
+# bin-packing admission; exits non-zero unless every job is
+# bit-identical to its solo run, the priority policy beats FIFO on
+# high-priority p99 sojourn, a mid-run kill requeues cleanly, and zero
+# goroutines leak after drain. See internal/cluster.
+cluster:
+	$(GO) run ./cmd/trainbench -fig cluster
+
 # smoke is the all-in-one gate: formatting, static checks (go vet), the
 # race-detector test pass, the godoc floor, and a minimal-iteration pass
 # through every cmd/* entry point. The cmd/ pass takes a few seconds;
@@ -84,9 +96,10 @@ smoke: fmt vet build test-race doccheck
 	$(GO) run ./cmd/trainbench -fig a2a > /dev/null
 	$(GO) run ./cmd/trainbench -fig chaos > /dev/null
 	$(GO) run ./cmd/trainbench -fig ar > /dev/null
+	$(GO) run ./cmd/trainbench -fig cluster > /dev/null
 	$(GO) run ./cmd/trainbench -fig tune
 	$(GO) run ./cmd/trainbench -fig trace > /dev/null
-	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr9.json
-	@git diff --exit-code -- internal/tune/default_table.json BENCH_pr9.json \
+	$(GO) run ./cmd/trainbench -fig collbench -out BENCH_pr10.json
+	@git diff --exit-code -- internal/tune/default_table.json BENCH_pr10.json \
 		|| { echo "smoke: regenerated artifacts differ from the committed ones"; exit 1; }
 	@echo "smoke: all entry points OK"

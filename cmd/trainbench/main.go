@@ -25,6 +25,14 @@
 //	          unless every fault surfaces as a typed ErrRankLost abort
 //	          or a clean re-formation, with zero hangs and post-reform
 //	          training bit-identical to the fault-free reference
+//	-fig cluster
+//	          multi-tenant cluster gate: a bursty trace of
+//	          heterogeneous jobs (DP/MoE/ZeRO/hybrid) contending for
+//	          one fabric under FIFO / priority / bin-packing admission;
+//	          exits non-zero unless every job is bit-identical to its
+//	          solo run (pure reference and actual re-run), the priority
+//	          policy beats FIFO on high-priority p99 sojourn, a
+//	          mid-run kill requeues cleanly, and zero goroutines leak
 //	-fig ar   auto-tuning gate: ring vs hierarchical vs auto for
 //	          all-reduce / all-gather / reduce-scatter across shapes
 //	          and sizes; exits non-zero unless every auto pick matches
@@ -70,7 +78,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, chaos, ar, tune, collbench, or trace")
+	fig := flag.String("fig", "10", "figure to regenerate: 10, 11, 12, 13, moe, zero, a2a, a2abench, chaos, ar, tune, collbench, trace, or cluster")
 	iters := flag.Int("iters", 0, "training iterations (0 = figure default)")
 	trials := flag.Int("trials", 5, "disordered trials for the moe/zero deadlock tally")
 	out := flag.String("out", "", "output file for -fig a2abench/collbench (default stdout), -fig tune (default internal/tune/default_table.json), and the directory for -fig trace artifacts (default .)")
@@ -259,6 +267,15 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d bytes) and %s (%d bytes); open trace.json in chrome://tracing or https://ui.perfetto.dev\n",
 			tracePath, len(res.TraceJSON), metricsPath, len(res.MetricsJSON))
+	case "cluster":
+		rows, err := bench.ClusterGate()
+		check(err)
+		fmt.Println("multi-tenant cluster gate (bursty low-pri wave + high-pri shorties, 2×4 GPUs, oversubscribed shared fabric, 1 slot/GPU)")
+		for _, r := range rows {
+			fmt.Println("  " + r.String())
+		}
+		fmt.Println("cluster gates passed: every job bit-identical to its solo run, priority beats FIFO on high-priority p99,")
+		fmt.Println("pool reused across tenant churn, kill-induced requeue recommitted bit-identically, zero goroutines leaked")
 	case "chaos":
 		n := defaultIters(*iters, 6)
 		rows, err := bench.Chaos(n)

@@ -174,6 +174,11 @@ var (
 	// All ranks must open the same algorithm; unknown algorithms are
 	// rejected at Open.
 	WithAlgorithm = core.WithAlgorithm
+	// WithJob tags the collective with its owning tenant job ID for
+	// per-job isolation in the communicator pool and per-tenant
+	// attribution of recorded spans, sends, and fabric flows (0 — the
+	// default — means untagged single-job use).
+	WithJob = core.WithJob
 )
 
 // Collective algorithms selectable with WithAlgorithm.

@@ -157,6 +157,22 @@ type BenchCell struct {
 	// virtual time, so the column is pinned at exactly 0 — any other
 	// value means recording perturbed the simulated timeline.
 	TraceOverheadNs int64 `json:"trace_overhead_ns"`
+	// Policy and Jobs tag the multi-job contention cells (figure
+	// "cluster") with their admission policy and trace length; E2ENs is
+	// the run's makespan there.
+	Policy string `json:"policy,omitempty"`
+	Jobs   int    `json:"jobs,omitempty"`
+	// P50Ns and P99Ns are job-sojourn percentiles over all jobs of a
+	// cluster cell; HiPriP99Ns is the p99 over the high-priority class —
+	// the column where the priority policy must beat FIFO.
+	P50Ns      int64 `json:"p50_ns,omitempty"`
+	P99Ns      int64 `json:"p99_ns,omitempty"`
+	HiPriP99Ns int64 `json:"hi_pri_p99_ns,omitempty"`
+	// AllocsPerOp pins the recording-free launch path's allocation
+	// budget (figure "launchpath"), quantized to the nearest 32 so the
+	// committed snapshot is stable while regressions of the
+	// container/heap-boxing kind stay visible.
+	AllocsPerOp int `json:"allocs_per_op,omitempty"`
 }
 
 // A2ABenchMatrix generates the all-to-all half of the benchmark

@@ -362,10 +362,11 @@ func CollBenchCells() ([]BenchCell, error) {
 	return cells, nil
 }
 
-// FullBenchMatrix is the BENCH_pr9.json matrix: the all-to-all and
-// chaos cells of A2ABenchMatrix, the full-collective cells, and the
+// FullBenchMatrix is the BENCH_pr10.json matrix: the all-to-all and
+// chaos cells of A2ABenchMatrix, the full-collective cells, the
 // tracing-overhead cells pinning the flight recorder's zero observer
-// effect.
+// effect, and the multi-job contention column (per-policy cluster
+// cells plus the launch-path allocation cell).
 func FullBenchMatrix() ([]BenchCell, error) {
 	cells, err := A2ABenchMatrix()
 	if err != nil {
@@ -379,6 +380,11 @@ func FullBenchMatrix() ([]BenchCell, error) {
 	if err != nil {
 		return nil, err
 	}
+	clusterCells, err := ClusterBenchCells()
+	if err != nil {
+		return nil, err
+	}
 	cells = append(cells, collCells...)
-	return append(cells, traceCells...), nil
+	cells = append(cells, traceCells...)
+	return append(cells, clusterCells...), nil
 }

@@ -21,6 +21,7 @@ type openOpts struct {
 	counts   [][]int
 	algo     prim.Algorithm
 	hasAlgo  bool
+	job      int
 }
 
 // WithCollID pins the collective to an explicit ID, as the paper's
@@ -60,6 +61,17 @@ func WithCounts(counts [][]int) OpenOption {
 		cp[i] = append([]int(nil), row...)
 	}
 	return func(o *openOpts) { o.counts = cp }
+}
+
+// WithJob tags the collective with the tenant job it belongs to (job
+// IDs are positive; 0 — the default — means untagged). The tag flows
+// through the executor into recorded action spans, sends, and fabric
+// flows for per-tenant attribution, and it is part of the group's
+// identity: every participating rank must open the same job, and a
+// collective ID can never be shared across jobs — the per-job isolation
+// that keeps one tenant's data out of another's communicator.
+func WithJob(job int) OpenOption {
+	return func(o *openOpts) { o.job = job }
 }
 
 // WithAlgorithm selects the primitive-sequence algorithm of the opened
@@ -131,7 +143,7 @@ func (r *RankContext) Open(spec prim.Spec, opts ...OpenOption) (*Collective, err
 	if !o.hasID {
 		id = r.sys.autoCollID(r, spec)
 	}
-	if err := r.register(spec, id, o.priority, o.grid); err != nil {
+	if err := r.register(spec, id, o.priority, o.grid, o.job); err != nil {
 		return nil, err
 	}
 	return &Collective{r: r, id: id}, nil
@@ -320,12 +332,12 @@ func (c *Collective) Reform(p *sim.Process) (*Collective, error) {
 	if err != nil {
 		return nil, err
 	}
-	priority, grid := g.Priority, g.Grid
+	priority, grid, job := g.Priority, g.Grid, g.Job
 	oldID := c.id
 	if err := c.Close(p); err != nil {
 		return nil, err
 	}
-	nc, err := c.r.Open(spec, WithPriority(priority), WithGrid(grid))
+	nc, err := c.r.Open(spec, WithPriority(priority), WithGrid(grid), WithJob(job))
 	if err != nil {
 		return nil, err
 	}

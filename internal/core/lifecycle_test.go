@@ -582,3 +582,44 @@ func TestAutoCollIDConvergence(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 }
+
+// TestCrossJobRegisterRefused pins the multi-tenant ownership check:
+// once job 1 registers a collective ID, a rank acting for job 2 cannot
+// join that group — Open fails with the ownership error instead of
+// silently coupling the two tenants' gang schedules. Ordering between
+// the two ranks is by virtual time (rank 1 opens 1µs after rank 0).
+func TestCrossJobRegisterRefused(t *testing.T) {
+	const count = 64
+	e := sim.NewEngine()
+	e.MaxTime = sim.Time(60 * sim.Second)
+	sys := NewSystem(e, topo.Server3090(2), DefaultConfig())
+	ranks := []int{0, 1}
+
+	e.Spawn("job1.rank0", func(p *sim.Process) {
+		rc := sys.Init(p, 0)
+		coll, err := rc.Open(lifecycleSpec(count, ranks), WithCollID(7), WithJob(1))
+		if err != nil {
+			t.Errorf("job 1 open: %v", err)
+			return
+		}
+		p.Sleep(5 * sim.Microsecond) // keep the group live across rank 1's attempt
+		if err := coll.Close(p); err != nil {
+			t.Errorf("job 1 close: %v", err)
+		}
+		rc.Destroy(p)
+	})
+	e.Spawn("job2.rank1", func(p *sim.Process) {
+		p.Sleep(1 * sim.Microsecond) // after job 1's registration
+		rc := sys.Init(p, 1)
+		_, err := rc.Open(lifecycleSpec(count, ranks), WithCollID(7), WithJob(2))
+		if err == nil {
+			t.Error("job 2 joined job 1's collective; want ownership refusal")
+		} else if !strings.Contains(err.Error(), "owned by job 1 re-registered by job 2") {
+			t.Errorf("wrong refusal: %v", err)
+		}
+		rc.Destroy(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -139,7 +139,7 @@ func (s *System) Init(p *sim.Process, rank int) *RankContext {
 // register is the registration workhorse behind Open and the
 // deprecated Register* shims: it creates (or joins) the cross-rank
 // group and installs the per-rank task.
-func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error {
+func (r *RankContext) register(spec prim.Spec, collID, priority, grid, job int) error {
 	if r.destroyed && !r.lost {
 		return fmt.Errorf("core: rank %d context destroyed", r.Rank)
 	}
@@ -159,7 +159,7 @@ func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error
 	if !inSet {
 		return fmt.Errorf("core: rank %d not in devSet of collective %d", r.Rank, collID)
 	}
-	g, err := r.sys.register(spec, collID, priority, grid)
+	g, err := r.sys.register(spec, collID, priority, grid, job)
 	if err != nil {
 		return err
 	}
@@ -171,6 +171,7 @@ func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error
 	// The abort hook is how a rank loss reaches the daemon: the
 	// executor polls it at every step entry and connector-wait wakeup.
 	t.exec.AbortCheck = g.aborted
+	t.exec.Job = g.Job
 	if rec := r.sys.Config.Recorder; rec != nil {
 		t.exec.Rec, t.exec.RecColl = rec, collID
 	}
@@ -187,7 +188,7 @@ func (r *RankContext) register(spec prim.Spec, collID, priority, grid int) error
 // Deprecated: use Open, which returns a *Collective handle with
 // launch, stats, and lifecycle (Close) methods.
 func (r *RankContext) Register(spec prim.Spec, collID, priority int) error {
-	return r.register(spec, collID, priority, 0)
+	return r.register(spec, collID, priority, 0, 0)
 }
 
 // Unregister removes a collective's registration from this rank — the

@@ -92,7 +92,12 @@ type Group struct {
 	Spec     prim.Spec
 	Priority int
 	Grid     int // blocks the collective needs; the daemon grid is the max
-	comm     *communicator
+	// Job is the owning tenant job ID (0 = untagged). It is part of the
+	// group's identity: a collective ID opened under one job can never
+	// be re-registered under another, so a tenant's launches can only
+	// ever run on its own group's communicator.
+	Job  int
+	comm *communicator
 	// posOf maps global rank -> ring position.
 	posOf map[int]int
 	// refs counts ranks currently registered; when the last rank
@@ -114,7 +119,7 @@ func (g *Group) aborted() bool { return g.abortErr != nil }
 // on first call and validating consistency on subsequent calls from
 // other ranks (every participant registers the same collective ID with
 // the same spec, as with dfcclRegister*).
-func (s *System) register(spec prim.Spec, collID, priority, grid int) (*Group, error) {
+func (s *System) register(spec prim.Spec, collID, priority, grid, job int) (*Group, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,6 +132,9 @@ func (s *System) register(spec prim.Spec, collID, priority, grid int) (*Group, e
 		}
 		if !sameSpec(g.Spec, spec) {
 			return nil, fmt.Errorf("core: collective %d re-registered with a different spec", collID)
+		}
+		if g.Job != job {
+			return nil, fmt.Errorf("core: collective %d owned by job %d re-registered by job %d", collID, g.Job, job)
 		}
 		return g, nil
 	}
@@ -143,6 +151,7 @@ func (s *System) register(spec prim.Spec, collID, priority, grid int) (*Group, e
 		Spec:     spec,
 		Priority: priority,
 		Grid:     grid,
+		Job:      job,
 		comm:     s.pool.acquire(spec.Ranks, fmt.Sprintf("coll%d", collID)),
 		posOf:    make(map[int]int, len(spec.Ranks)),
 	}

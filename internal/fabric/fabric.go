@@ -255,6 +255,8 @@ type Network struct {
 
 	rec     *trace.Recorder // nil = no flow/saturation recording
 	flowSeq int             // last assigned flow ID
+
+	jobBytes map[int]int64 // per-tenant byte attribution, keyed by job ID
 }
 
 // SetRecorder attaches a flight recorder: flow lifecycle events
@@ -402,6 +404,35 @@ func (n *Network) Snapshot() []LinkStat {
 			Bytes:     l.bytes,
 			Busy:      l.busy,
 			Saturated: l.saturated,
+		}
+	}
+	return out
+}
+
+// JobBytes returns the bytes moved through the network per tenant job
+// ID, as attributed by TransferJob (key 0 collects untagged transfers).
+// Unlike link byte counters it is accrued on both shared and unshared
+// networks, so per-tenant attribution works under either pricing model.
+func (n *Network) JobBytes() map[int]int64 {
+	out := make(map[int]int64, len(n.jobBytes))
+	for job, b := range n.jobBytes {
+		out[job] = b
+	}
+	return out
+}
+
+// NICLoad returns, per machine, the bytes accrued so far on that
+// machine's NIC-tier links (tx + rx). It is the load signal the cluster
+// driver's bin-packing admission policy sorts on. Nil when the network
+// is unshared or single-machine (no NIC links exist).
+func (n *Network) NICLoad() []float64 {
+	if !n.shared || n.nicTx == nil {
+		return nil
+	}
+	out := make([]float64, len(n.nicTx))
+	for m := range n.nicTx {
+		if n.nicTx[m] != nil {
+			out[m] = n.nicTx[m].bytes + n.nicRx[m].bytes
 		}
 	}
 	return out

@@ -16,6 +16,7 @@ type flow struct {
 	frozen    bool    // scratch for one water-filling solve
 	id        int     // recorder flow ID (0 when recording is off)
 	prevRate  float64 // rate before the last solve (rate-change detection)
+	job       int     // owning tenant job ID (0 = untagged)
 }
 
 // Transfer moves bytes over route r, blocking the calling process for
@@ -29,17 +30,31 @@ type flow struct {
 // shared pricing rounds serialization up to whole nanoseconds, where
 // the legacy pricing truncates — durations may differ by 1ns.)
 func (n *Network) Transfer(p *sim.Process, r Route, bytes int) {
+	n.TransferJob(p, r, bytes, 0)
+}
+
+// TransferJob is Transfer with the moved bytes attributed to a tenant
+// job ID (0 = untagged): the pricing is identical, but the bytes accrue
+// to the per-job attribution read back by JobBytes, and — under shared
+// networks with recording on — the flow's trace events carry the job.
+func (n *Network) TransferJob(p *sim.Process, r Route, bytes, job int) {
+	if bytes > 0 {
+		if n.jobBytes == nil {
+			n.jobBytes = make(map[int]int64)
+		}
+		n.jobBytes[job] += int64(bytes)
+	}
 	if !n.shared || len(r.Links) == 0 || bytes == 0 {
 		p.Sleep(sim.Duration(r.Path.TransferTime(bytes)))
 		return
 	}
 	p.Sleep(sim.Duration(r.Path.Latency))
 	e := p.Engine()
-	f := &flow{route: r, remaining: float64(bytes), cap: r.Path.Bandwidth}
+	f := &flow{route: r, remaining: float64(bytes), cap: r.Path.Bandwidth, job: job}
 	if n.rec != nil {
 		n.flowSeq++
 		f.id = n.flowSeq
-		n.rec.RecordFlow(trace.FlowEvent{At: e.Now(), ID: f.id, Kind: trace.FlowStart, Bytes: bytes})
+		n.rec.RecordFlow(trace.FlowEvent{At: e.Now(), ID: f.id, Kind: trace.FlowStart, Bytes: bytes, Job: job})
 	}
 	n.advance(e.Now())
 	n.flows = append(n.flows, f)
@@ -59,7 +74,7 @@ func (n *Network) Transfer(p *sim.Process, r Route, bytes int) {
 	n.recompute()
 	n.change.Broadcast(e)
 	if n.rec != nil {
-		n.rec.RecordFlow(trace.FlowEvent{At: e.Now(), ID: f.id, Kind: trace.FlowEnd})
+		n.rec.RecordFlow(trace.FlowEvent{At: e.Now(), ID: f.id, Kind: trace.FlowEnd, Job: f.job})
 	}
 }
 
@@ -175,7 +190,7 @@ func (n *Network) recompute() {
 		// its initial allocation.
 		for _, f := range n.flows {
 			if f.rate != f.prevRate {
-				n.rec.RecordFlow(trace.FlowEvent{At: n.lastAt, ID: f.id, Kind: trace.FlowRate, Rate: f.rate})
+				n.rec.RecordFlow(trace.FlowEvent{At: n.lastAt, ID: f.id, Kind: trace.FlowRate, Rate: f.rate, Job: f.job})
 			}
 		}
 	}

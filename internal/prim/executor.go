@@ -148,6 +148,12 @@ type Executor struct {
 	Rec     *trace.Recorder
 	RecColl int
 
+	// Job is the tenant job ID the executor's collective belongs to
+	// (0 = untagged single-job run). It tags recorded action spans and
+	// sends, and attributes fabric transfers to the job for per-tenant
+	// accounting. The owning runtime assigns it after construction.
+	Job int
+
 	scratch *mem.Buffer
 
 	// Stats.
@@ -440,7 +446,7 @@ func (x *Executor) StepOnce(p *sim.Process, spinBudget sim.Duration) StepResult 
 			GPU: x.Spec.Ranks[x.Pos], Coll: x.RecColl,
 			Stage: x.Stage, Label: stage.Label,
 			Round: x.Round, Step: x.Step, Phase: x.Phase,
-			Transport: x.actionTransport(a),
+			Transport: x.actionTransport(a), Job: x.Job,
 		})
 	}
 	x.Phase = 0
@@ -502,10 +508,11 @@ func (x *Executor) sendHalf(p *sim.Process, a Action) {
 			At: p.Now(), GPU: x.Spec.Ranks[x.Pos], Coll: x.RecColl,
 			Stage: x.Stage, Round: x.Round, Step: x.Step,
 			Transport: TraceTransport(route.Path.Transport), Bytes: bytes,
+			Job: x.Job,
 		})
 	}
 	if x.Net != nil {
-		x.Net.Transfer(p, route, bytes)
+		x.Net.TransferJob(p, route, bytes, x.Job)
 	} else {
 		p.Sleep(sim.Duration(route.Path.TransferTime(bytes)))
 	}

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -68,23 +67,60 @@ type event struct {
 	p   *Process
 }
 
+// eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap: the interface-based heap boxes an
+// event allocation on every Push and Pop, which dominated the launch-path
+// allocation profile (~half of all allocs/op on the nil-recorder probe).
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+// push appends ev and restores the heap invariant (sift up).
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (sift down).
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = event{} // release the *Process reference
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a discrete-event simulation driver. It is not safe for
@@ -122,7 +158,7 @@ func (e *Engine) Stop() { e.stopped = true }
 
 func (e *Engine) schedule(p *Process, at Time) {
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, p: p})
+	e.queue.push(event{at: at, seq: e.seq, p: p})
 }
 
 // Spawn creates a process executing fn and schedules it to start at the
@@ -165,7 +201,7 @@ func (e *Engine) Run() error {
 		if e.stopped {
 			return ErrStopped
 		}
-		if e.queue.Len() == 0 {
+		if len(e.queue) == 0 {
 			if len(e.procs) == 0 {
 				return nil
 			}
@@ -173,7 +209,7 @@ func (e *Engine) Run() error {
 			// condition with no timeout: a global deadlock.
 			return ErrDeadlock
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		p := ev.p
 		if p.done || ev.seq < p.cancelSeq {
 			continue // stale wakeup (cancelled timer)

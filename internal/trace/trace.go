@@ -111,6 +111,7 @@ type ActionSpan struct {
 	Step       int
 	Phase      int // phase cursor at completion
 	Transport  Transport
+	Job        int // owning tenant job ID (0 = untagged single-job run)
 }
 
 // Send is one executed send half: the byte-accounting ground truth the
@@ -126,6 +127,7 @@ type Send struct {
 	Step      int
 	Transport Transport
 	Bytes     int
+	Job       int // owning tenant job ID (0 = untagged single-job run)
 }
 
 // FlowEventKind classifies a fabric flow event.
@@ -163,6 +165,7 @@ type FlowEvent struct {
 	Kind  FlowEventKind
 	Rate  float64
 	Bytes int
+	Job   int // owning tenant job ID (0 = untagged single-job run)
 }
 
 // SatSpan is one interval during which a shared-fabric link was
@@ -386,6 +389,17 @@ func (r *Recorder) SendBytesBy() (local, shm, rdma int) {
 	return local, shm, rdma
 }
 
+// SendBytesByJob sums the recorded send halves per tenant job ID — the
+// trace-derived side of per-tenant byte attribution. Job 0 collects
+// sends from untagged (single-job) collectives.
+func (r *Recorder) SendBytesByJob() map[int]int {
+	out := make(map[int]int)
+	for _, s := range r.Sends {
+		out[s.Job] += s.Bytes
+	}
+	return out
+}
+
 // ActionsByColl counts completed action spans per collective ID across
 // all GPUs — the span-count side of the reconciliation gate.
 func (r *Recorder) ActionsByColl() map[int]int {
@@ -500,15 +514,19 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		if label == "" {
 			label = "ring"
 		}
+		args := map[string]any{
+			"stage": a.Stage, "phase": a.Phase, "transport": a.Transport.String(),
+		}
+		if a.Job != 0 {
+			args["job"] = a.Job
+		}
 		evs = append(evs, chromeEvent{
 			Name: fmt.Sprintf("%s r%d s%d", label, a.Round, a.Step),
 			Cat:  "action", Ph: "X",
 			TS:  usec(a.Start),
 			Dur: usec(a.End - a.Start),
 			PID: a.GPU, TID: a.Coll,
-			Args: map[string]any{
-				"stage": a.Stage, "phase": a.Phase, "transport": a.Transport.String(),
-			},
+			Args: args,
 		})
 	}
 	for _, s := range r.Sends {
